@@ -1,0 +1,82 @@
+// Command baexp regenerates every evaluation table of the paper
+// (experiments E1..E14; see DESIGN.md for the index) and prints them as
+// aligned text. It exits non-zero if any measured count violates the
+// corresponding bound.
+//
+// Usage:
+//
+//	baexp            # run all experiments
+//	baexp -only E5   # run a single experiment
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"byzex/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (E1..E14)")
+	format := flag.String("format", "text", "output format: text|csv")
+	flag.Parse()
+
+	ctx := context.Background()
+	funcs := map[string]func(context.Context) (*experiments.Table, error){
+		"E1":  experiments.E1Alg1,
+		"E2":  experiments.E2Alg2,
+		"E3":  experiments.E3Alg3,
+		"E4":  experiments.E4Alg4,
+		"E5":  experiments.E5Alg5,
+		"E6":  experiments.E6Theorem1,
+		"E7":  experiments.E7Unauth,
+		"E8":  experiments.E8Theorem2,
+		"E9":  experiments.E9Tradeoff,
+		"E10": experiments.E10Baselines,
+		"E11": experiments.E11Ablations,
+		"E12": experiments.E12MessageSize,
+		"E13": experiments.E13Alg5Breakdown,
+		"E14": experiments.E14Scaling,
+	}
+
+	failed := false
+	if *only != "" {
+		f, ok := funcs[strings.ToUpper(*only)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+		tbl, err := f(ctx)
+		if tbl != nil {
+			fmt.Println(render(tbl, *format))
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	tables, err := experiments.All(ctx)
+	for _, tbl := range tables {
+		fmt.Println(render(tbl, *format))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// render formats a table per the -format flag.
+func render(tbl *experiments.Table, format string) string {
+	if format == "csv" {
+		return tbl.CSV()
+	}
+	return tbl.Render()
+}

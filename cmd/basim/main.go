@@ -1,0 +1,147 @@
+// Command basim runs a single Byzantine Agreement instance and prints the
+// decisions and the information-exchange metrics.
+//
+// Usage examples:
+//
+//	basim -protocol alg1 -t 4                         # n defaults to 2t+1
+//	basim -protocol alg5 -n 256 -t 4 -s 4 -value 1
+//	basim -protocol alg3 -n 100 -t 3 -s 12 -adversary split-brain
+//	basim -protocol dolev-strong -n 16 -t 4 -transport tcp
+//	basim -protocol alg2 -t 3 -dump run.json          # JSON transcript
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"byzex/internal/cli"
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/transport"
+)
+
+func main() {
+	var (
+		protoName = flag.String("protocol", "alg5", "protocol: "+strings.Join(cli.ProtocolNames(), "|"))
+		n         = flag.Int("n", 0, "number of processors (default 2t+1)")
+		t         = flag.Int("t", 2, "fault bound")
+		s         = flag.Int("s", 0, "set/tree size parameter for alg3/alg5 (default t)")
+		value     = flag.Int64("value", 1, "transmitter's value")
+		advName   = flag.String("adversary", "none", "adversary: "+strings.Join(cli.AdversaryNames(), "|"))
+		schemeStr = flag.String("scheme", "hmac", "signature scheme: hmac|ed25519|plain")
+		trans     = flag.String("transport", "memory", "transport: memory|tcp")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		verbose   = flag.Bool("v", false, "print per-phase message counts")
+		dump      = flag.String("dump", "", "write the full message transcript (JSON) to this file (memory transport only)")
+	)
+	flag.Parse()
+
+	if *n == 0 {
+		*n = 2**t + 1
+	}
+	params := cli.Params{N: *n, T: *t, S: *s, Seed: *seed}
+
+	proto, err := cli.Protocol(*protoName, params)
+	if err != nil {
+		fail(err)
+	}
+	adv, err := cli.Adversary(*advName, params)
+	if err != nil {
+		fail(err)
+	}
+	scheme, err := cli.Scheme(*schemeStr, params)
+	if err != nil {
+		fail(err)
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+
+	switch *trans {
+	case "memory":
+		res, err := core.Run(ctx, core.Config{
+			Protocol: proto, N: *n, T: *t, Value: ident.Value(*value),
+			Scheme: scheme, Adversary: adv, Seed: *seed, Record: *dump != "",
+		})
+		if err != nil {
+			fail(err)
+		}
+		printOutcome(res.Faulty, decisions(res), res.Sim.Report.String(), ident.Value(*value))
+		if *verbose {
+			fmt.Print(res.Sim.Report.Table())
+		}
+		if *dump != "" {
+			f, err := os.Create(*dump)
+			if err != nil {
+				fail(err)
+			}
+			if err := res.History.Export(f); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("transcript: %s (%d phases)\n", *dump, res.History.NumPhases())
+		}
+	case "tcp":
+		var faulty ident.Set
+		if adv != nil {
+			faulty = adv.Corrupt(*n, *t, 0, nil)
+		}
+		res, err := transport.Run(ctx, transport.Config{
+			Protocol: proto, N: *n, T: *t, Value: ident.Value(*value),
+			Scheme: scheme, Adversary: adv, Faulty: faulty, Seed: *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		dec := make(map[ident.ProcID]string, len(res.Decisions))
+		for id, d := range res.Decisions {
+			dec[id] = fmt.Sprint(d.Value)
+		}
+		printOutcome(res.Faulty, dec, res.Report.String(), ident.Value(*value))
+	default:
+		fail(fmt.Errorf("unknown transport %q", *trans))
+	}
+	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func decisions(res *core.Result) map[ident.ProcID]string {
+	out := make(map[ident.ProcID]string, len(res.Sim.Decisions))
+	for id, d := range res.Sim.Decisions {
+		if d.Decided {
+			out[id] = fmt.Sprint(d.Value)
+		} else {
+			out[id] = "undecided"
+		}
+	}
+	return out
+}
+
+func printOutcome(faulty ident.Set, dec map[ident.ProcID]string, report string, txValue ident.Value) {
+	counts := make(map[string]int)
+	for id, v := range dec {
+		if faulty.Has(id) {
+			continue
+		}
+		counts[v]++
+	}
+	fmt.Printf("faulty: %v\n", faulty.Sorted())
+	fmt.Printf("transmitter value: %v\n", txValue)
+	fmt.Printf("correct decisions: %v\n", counts)
+	fmt.Printf("metrics: %s\n", report)
+	if len(counts) == 1 {
+		fmt.Println("agreement: OK")
+	} else {
+		fmt.Println("agreement: VIOLATED")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

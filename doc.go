@@ -1,0 +1,12 @@
+// Package byzex is a from-scratch reproduction of Dolev & Reischuk,
+// "Bounds on Information Exchange for Byzantine Agreement" (PODC 1982;
+// J. ACM 32(1), 1985): the message/signature lower bounds (Theorems 1-2) as
+// executable audits and attacks, and the message-optimal authenticated
+// agreement algorithms (Algorithms 1-5, Theorems 3-7) over a synchronous
+// message-passing simulator and a real TCP transport.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-vs-measured results, and the examples/ directory for runnable
+// entry points. The public API lives in internal/core; the per-theorem
+// benchmark harness is bench_test.go in this directory.
+package byzex

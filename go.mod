@@ -1,0 +1,3 @@
+module byzex
+
+go 1.22

@@ -1,0 +1,482 @@
+// Package adversary implements Byzantine fault strategies. An Adversary
+// chooses which processors to corrupt and supplies the state machines that
+// replace them. Faulty processors may collude: every strategy has access to
+// the shared State, which pools the signers of all corrupted processors —
+// exactly the paper's power ("every message that contains only signatures of
+// faulty processors can be produced by them") — but can never sign for a
+// correct processor because it never holds a correct processor's signer.
+//
+// The strategies include the constructions used by the paper's lower-bound
+// proofs: the split-brain transmitter and history-replay adversary of
+// Theorem 1, and the ignore-first-⌈t/2⌉ starvation behaviour of Theorem 2.
+package adversary
+
+import (
+	"fmt"
+	mrand "math/rand"
+
+	"byzex/internal/ident"
+	"byzex/internal/protocol"
+	"byzex/internal/sig"
+	"byzex/internal/sim"
+)
+
+// State is the shared collusion state for one run's faulty coalition.
+type State struct {
+	// Faulty is the corrupted set.
+	Faulty ident.Set
+	// Signers holds the signing handles of every corrupted processor.
+	Signers map[ident.ProcID]sig.Signer
+	// Rng is the adversary's private randomness (deterministic per seed).
+	Rng *mrand.Rand
+	// Scratch is free-form shared memory for coordinated strategies.
+	Scratch map[string]interface{}
+}
+
+// NewState builds collusion state for the given faulty set, collecting the
+// corrupted processors' signers from the scheme.
+func NewState(faulty ident.Set, scheme sig.Scheme, seed int64) (*State, error) {
+	st := &State{
+		Faulty:  faulty.Clone(),
+		Signers: make(map[ident.ProcID]sig.Signer, faulty.Len()),
+		Rng:     mrand.New(mrand.NewSource(seed)),
+		Scratch: make(map[string]interface{}),
+	}
+	for id := range faulty {
+		s, err := scheme.Signer(id)
+		if err != nil {
+			return nil, fmt.Errorf("adversary: collecting signer for %v: %w", id, err)
+		}
+		st.Signers[id] = s
+	}
+	return st, nil
+}
+
+// Env gives a strategy what it needs to build Byzantine nodes: the protocol
+// under attack (so wrappers can embed correct inner nodes) and the shared
+// collusion state.
+type Env struct {
+	Protocol protocol.Protocol
+	State    *State
+}
+
+// Adversary selects corruptions and builds Byzantine nodes.
+type Adversary interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Corrupt returns the set of processors to corrupt for an (n, t) run.
+	// Implementations must return at most t identities.
+	Corrupt(n, t int, transmitter ident.ProcID, rng *mrand.Rand) ident.Set
+	// NewNode builds the Byzantine state machine for one corrupted
+	// processor.
+	NewNode(cfg protocol.NodeConfig, env *Env) (sim.Node, error)
+}
+
+// ---------------------------------------------------------------------------
+// Silent: corrupted processors never send anything (crash-from-start).
+
+// Silent corrupts up to t non-transmitter processors that then never send.
+type Silent struct{}
+
+var _ Adversary = Silent{}
+
+// Name implements Adversary.
+func (Silent) Name() string { return "silent" }
+
+// Corrupt implements Adversary: the last t processors (never the
+// transmitter) go silent.
+func (Silent) Corrupt(n, t int, transmitter ident.ProcID, _ *mrand.Rand) ident.Set {
+	return lastNonTransmitter(n, t, transmitter)
+}
+
+// NewNode implements Adversary.
+func (Silent) NewNode(protocol.NodeConfig, *Env) (sim.Node, error) {
+	return &silentNode{}, nil
+}
+
+type silentNode struct{}
+
+func (*silentNode) Step(*sim.Context, []sim.Envelope) error { return nil }
+
+func (*silentNode) Decide() (ident.Value, bool) { return 0, false }
+
+// ---------------------------------------------------------------------------
+// Crash: behave correctly, then stop forever after a given phase.
+
+// Crash runs the real protocol until CrashAfter, then goes silent. With
+// CrashAfter=0 the victims are silent from the start but still *receive*.
+type Crash struct {
+	// CrashAfter is the last phase during which victims behave correctly.
+	CrashAfter int
+}
+
+var _ Adversary = Crash{}
+
+// Name implements Adversary.
+func (c Crash) Name() string { return fmt.Sprintf("crash@%d", c.CrashAfter) }
+
+// Corrupt implements Adversary.
+func (Crash) Corrupt(n, t int, transmitter ident.ProcID, _ *mrand.Rand) ident.Set {
+	return lastNonTransmitter(n, t, transmitter)
+}
+
+// NewNode implements Adversary.
+func (c Crash) NewNode(cfg protocol.NodeConfig, env *Env) (sim.Node, error) {
+	inner, err := env.Protocol.NewNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &crashNode{inner: inner, after: c.CrashAfter}, nil
+}
+
+type crashNode struct {
+	inner sim.Node
+	after int
+}
+
+func (c *crashNode) Step(ctx *sim.Context, inbox []sim.Envelope) error {
+	if ctx.Phase() > c.after {
+		return nil
+	}
+	return c.inner.Step(ctx, inbox)
+}
+
+func (c *crashNode) Decide() (ident.Value, bool) { return 0, false }
+
+// ---------------------------------------------------------------------------
+// SplitBrain: the corrupted transmitter (and optionally co-conspirators)
+// runs two correct inner nodes, one initialized with value 0 and one with
+// value 1, and routes their traffic so processors below the split point see
+// the 0-execution and the rest see the 1-execution. This is the classical
+// equivocation that Theorem 1's proof formalizes.
+
+// SplitBrain corrupts the transmitter only.
+type SplitBrain struct {
+	// LowValue/HighValue are the two personalities' initial values.
+	LowValue, HighValue ident.Value
+	// SplitAt: processors with id < SplitAt see the LowValue personality.
+	SplitAt ident.ProcID
+}
+
+var _ Adversary = SplitBrain{}
+
+// Name implements Adversary.
+func (s SplitBrain) Name() string { return "split-brain" }
+
+// Corrupt implements Adversary: only the transmitter.
+func (SplitBrain) Corrupt(_, t int, transmitter ident.ProcID, _ *mrand.Rand) ident.Set {
+	if t < 1 {
+		return make(ident.Set)
+	}
+	return ident.NewSet(transmitter)
+}
+
+// NewNode implements Adversary.
+func (s SplitBrain) NewNode(cfg protocol.NodeConfig, env *Env) (sim.Node, error) {
+	lowCfg, highCfg := cfg, cfg
+	lowCfg.Value = s.LowValue
+	highCfg.Value = s.HighValue
+	low, err := env.Protocol.NewNode(lowCfg)
+	if err != nil {
+		return nil, err
+	}
+	high, err := env.Protocol.NewNode(highCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &splitBrainNode{low: low, high: high, splitAt: s.SplitAt}, nil
+}
+
+type splitBrainNode struct {
+	low, high sim.Node
+	splitAt   ident.ProcID
+}
+
+func (s *splitBrainNode) Step(ctx *sim.Context, inbox []sim.Envelope) error {
+	// Run both personalities on the same inbox; filter each one's sends so
+	// that only its own audience receives them.
+	lowCtx := ctx.WithSendFilter(func(to ident.ProcID) bool { return to < s.splitAt })
+	if err := s.low.Step(lowCtx, inbox); err != nil {
+		return fmt.Errorf("split-brain low personality: %w", err)
+	}
+	highCtx := ctx.WithSendFilter(func(to ident.ProcID) bool { return to >= s.splitAt })
+	if err := s.high.Step(highCtx, inbox); err != nil {
+		return fmt.Errorf("split-brain high personality: %w", err)
+	}
+	return nil
+}
+
+func (s *splitBrainNode) Decide() (ident.Value, bool) { return 0, false }
+
+// ---------------------------------------------------------------------------
+// MultiFaced: the k-way generalization of SplitBrain for multi-valued
+// domains — the corrupted transmitter maintains one correct personality per
+// value and shows each personality to its own slice of the audience.
+
+// MultiFaced corrupts the transmitter and equivocates between len(Values)
+// personalities.
+type MultiFaced struct {
+	// Values are the personalities' initial values; audience slice i (of
+	// n/len(Values) processors, the last slice taking the remainder) sees
+	// personality i.
+	Values []ident.Value
+}
+
+var _ Adversary = MultiFaced{}
+
+// Name implements Adversary.
+func (m MultiFaced) Name() string { return fmt.Sprintf("multi-faced(%d)", len(m.Values)) }
+
+// Corrupt implements Adversary: only the transmitter.
+func (MultiFaced) Corrupt(_, t int, transmitter ident.ProcID, _ *mrand.Rand) ident.Set {
+	if t < 1 {
+		return make(ident.Set)
+	}
+	return ident.NewSet(transmitter)
+}
+
+// NewNode implements Adversary.
+func (m MultiFaced) NewNode(cfg protocol.NodeConfig, env *Env) (sim.Node, error) {
+	if len(m.Values) == 0 {
+		return nil, fmt.Errorf("adversary: multi-faced needs at least one value")
+	}
+	node := &multiFacedNode{k: len(m.Values), n: cfg.N}
+	for _, v := range m.Values {
+		pcfg := cfg
+		pcfg.Value = v
+		inner, err := env.Protocol.NewNode(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		node.faces = append(node.faces, inner)
+	}
+	return node, nil
+}
+
+type multiFacedNode struct {
+	faces []sim.Node
+	k, n  int
+}
+
+func (m *multiFacedNode) Step(ctx *sim.Context, inbox []sim.Envelope) error {
+	slice := (m.n + m.k - 1) / m.k
+	for i, face := range m.faces {
+		lo := ident.ProcID(i * slice)
+		hi := ident.ProcID((i + 1) * slice)
+		last := i == m.k-1
+		fctx := ctx.WithSendFilter(func(to ident.ProcID) bool {
+			return to >= lo && (last || to < hi)
+		})
+		if err := face.Step(fctx, inbox); err != nil {
+			return fmt.Errorf("multi-faced personality %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (m *multiFacedNode) Decide() (ident.Value, bool) { return 0, false }
+
+// ---------------------------------------------------------------------------
+// StarveB: the Theorem 2 construction. The corrupted set B behaves like
+// correct processors except that each member (i) never sends to other B
+// members and (ii) ignores the first IgnoreFirst messages it receives from
+// outside B.
+
+// StarveB corrupts an explicit set B with the starvation behaviour.
+type StarveB struct {
+	// B is the corrupted set (size ⌊1+t/2⌋ in the proof).
+	B ident.Set
+	// IgnoreFirst is how many incoming messages from outside B each member
+	// discards (⌈t/2⌉ in the proof).
+	IgnoreFirst int
+}
+
+var _ Adversary = StarveB{}
+
+// Name implements Adversary.
+func (s StarveB) Name() string { return "starve-b" }
+
+// Corrupt implements Adversary.
+func (s StarveB) Corrupt(int, int, ident.ProcID, *mrand.Rand) ident.Set { return s.B.Clone() }
+
+// NewNode implements Adversary.
+func (s StarveB) NewNode(cfg protocol.NodeConfig, env *Env) (sim.Node, error) {
+	inner, err := env.Protocol.NewNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &starveNode{inner: inner, b: s.B, remaining: s.IgnoreFirst}, nil
+}
+
+type starveNode struct {
+	inner     sim.Node
+	b         ident.Set
+	remaining int
+}
+
+func (s *starveNode) Step(ctx *sim.Context, inbox []sim.Envelope) error {
+	// Discard the first `remaining` messages from outside B; also discard
+	// everything from inside B (B members send nothing to each other in the
+	// construction, but a defensive filter keeps the behaviour exact even
+	// if another strategy shares the run).
+	kept := inbox[:0:0]
+	for _, e := range inbox {
+		if s.b.Has(e.From) {
+			continue
+		}
+		if s.remaining > 0 {
+			s.remaining--
+			continue
+		}
+		kept = append(kept, e)
+	}
+	fctx := ctx.WithSendFilter(func(to ident.ProcID) bool { return !s.b.Has(to) })
+	return s.inner.Step(fctx, kept)
+}
+
+func (s *starveNode) Decide() (ident.Value, bool) { return s.inner.Decide() }
+
+// ---------------------------------------------------------------------------
+// Garbage: stress strategy that sprays malformed payloads and forged
+// signature material at random recipients every phase. Protocols must
+// discard all of it; agreement must still hold.
+
+// Garbage corrupts up to t processors (never the transmitter).
+type Garbage struct {
+	// PerPhase is how many junk messages each corrupted node sends per
+	// phase (default 3 when zero).
+	PerPhase int
+}
+
+var _ Adversary = Garbage{}
+
+// Name implements Adversary.
+func (Garbage) Name() string { return "garbage" }
+
+// Corrupt implements Adversary.
+func (Garbage) Corrupt(n, t int, transmitter ident.ProcID, _ *mrand.Rand) ident.Set {
+	return lastNonTransmitter(n, t, transmitter)
+}
+
+// NewNode implements Adversary.
+func (g Garbage) NewNode(cfg protocol.NodeConfig, env *Env) (sim.Node, error) {
+	per := g.PerPhase
+	if per <= 0 {
+		per = 3
+	}
+	return &garbageNode{id: cfg.ID, n: cfg.N, per: per, rng: env.State.Rng}, nil
+}
+
+type garbageNode struct {
+	id  ident.ProcID
+	n   int
+	per int
+	rng *mrand.Rand
+}
+
+func (g *garbageNode) Step(ctx *sim.Context, _ []sim.Envelope) error {
+	for i := 0; i < g.per; i++ {
+		to := ident.ProcID(g.rng.Intn(g.n))
+		if to == g.id {
+			continue
+		}
+		payload := make([]byte, 1+g.rng.Intn(64))
+		_, _ = g.rng.Read(payload)
+		// Errors from junk sends (e.g. after the last phase) are part of
+		// the game; the adversary does not get to abort the run.
+		_ = ctx.Send(to, payload, nil, 0)
+	}
+	return nil
+}
+
+func (g *garbageNode) Decide() (ident.Value, bool) { return 0, false }
+
+// ---------------------------------------------------------------------------
+// Replay: the Theorem 1 indistinguishability attack. Each corrupted
+// processor replays, toward the victim p, exactly the labels it sent in
+// recorded history H, and toward everyone else the labels it sent in
+// recorded history G.
+
+// ReplaySchedule is the per-sender script extracted from two recorded
+// histories. Build it with lowerbound.BuildReplay.
+type ReplaySchedule struct {
+	// Victim is the processor that must see history H.
+	Victim ident.ProcID
+	// ToVictim[phase] are the labels this sender sent to the victim in H.
+	ToVictim map[int][]ReplayEdge
+	// ToOthers[phase] are the labels this sender sent to everyone else in G.
+	ToOthers map[int][]ReplayEdge
+}
+
+// ReplayEdge is one scripted send.
+type ReplayEdge struct {
+	To       ident.ProcID
+	Label    []byte
+	Signers  []ident.ProcID
+	SigTotal int
+}
+
+// Replay corrupts an explicit set and plays per-sender scripts.
+type Replay struct {
+	// FaultySet is the corrupted coalition A(p).
+	FaultySet ident.Set
+	// Schedules maps each corrupted sender to its script.
+	Schedules map[ident.ProcID]*ReplaySchedule
+}
+
+var _ Adversary = Replay{}
+
+// Name implements Adversary.
+func (Replay) Name() string { return "replay" }
+
+// Corrupt implements Adversary.
+func (r Replay) Corrupt(int, int, ident.ProcID, *mrand.Rand) ident.Set {
+	return r.FaultySet.Clone()
+}
+
+// NewNode implements Adversary.
+func (r Replay) NewNode(cfg protocol.NodeConfig, _ *Env) (sim.Node, error) {
+	sched, ok := r.Schedules[cfg.ID]
+	if !ok {
+		return nil, fmt.Errorf("adversary: no replay schedule for %v", cfg.ID)
+	}
+	return &replayNode{sched: sched}, nil
+}
+
+type replayNode struct {
+	sched *ReplaySchedule
+}
+
+func (r *replayNode) Step(ctx *sim.Context, _ []sim.Envelope) error {
+	ph := ctx.Phase()
+	for _, e := range r.sched.ToVictim[ph] {
+		if err := ctx.Send(e.To, e.Label, e.Signers, e.SigTotal); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.sched.ToOthers[ph] {
+		if err := ctx.Send(e.To, e.Label, e.Signers, e.SigTotal); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *replayNode) Decide() (ident.Value, bool) { return 0, false }
+
+// ---------------------------------------------------------------------------
+// helpers
+
+// lastNonTransmitter corrupts the t highest identities, skipping the
+// transmitter.
+func lastNonTransmitter(n, t int, transmitter ident.ProcID) ident.Set {
+	out := make(ident.Set)
+	for id := n - 1; id >= 0 && out.Len() < t; id-- {
+		p := ident.ProcID(id)
+		if p == transmitter {
+			continue
+		}
+		out.Add(p)
+	}
+	return out
+}

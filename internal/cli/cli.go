@@ -1,0 +1,134 @@
+// Package cli maps command-line names to protocols, adversaries and
+// signature schemes — shared by cmd/basim, cmd/baattack and tests so the
+// tools stay consistent and the mapping is testable.
+package cli
+
+import (
+	"fmt"
+	"sort"
+
+	"byzex/internal/adversary"
+	"byzex/internal/ident"
+	"byzex/internal/protocol"
+	"byzex/internal/protocols/alg1"
+	"byzex/internal/protocols/alg2"
+	"byzex/internal/protocols/alg3"
+	"byzex/internal/protocols/alg4"
+	"byzex/internal/protocols/alg5"
+	"byzex/internal/protocols/dolevstrong"
+	"byzex/internal/protocols/ic"
+	"byzex/internal/protocols/lsp"
+	"byzex/internal/protocols/phaseking"
+	"byzex/internal/protocols/strawman"
+	"byzex/internal/sig"
+)
+
+// Params carries the numeric knobs some constructors need.
+type Params struct {
+	N, T, S int
+	// Seed drives deterministic scheme generation.
+	Seed int64
+}
+
+// Protocol resolves a protocol name. S defaults to T when zero.
+func Protocol(name string, p Params) (protocol.Protocol, error) {
+	s := p.S
+	if s == 0 {
+		s = p.T
+	}
+	if s < 1 {
+		s = 1
+	}
+	switch name {
+	case "alg1":
+		return alg1.Protocol{}, nil
+	case "alg1-multi":
+		return alg1.MultiProtocol{}, nil
+	case "alg2":
+		return alg2.Protocol{}, nil
+	case "alg3":
+		return alg3.Protocol{S: s}, nil
+	case "alg4":
+		return alg4.Protocol{}, nil
+	case "alg4-relay":
+		return alg4.RelayProtocol{}, nil
+	case "alg5":
+		return alg5.Protocol{S: s}, nil
+	case "alg5-nopow":
+		return alg5.Protocol{S: s, DisablePoW: true}, nil
+	case "ic":
+		return ic.Protocol{Base: dolevstrong.Protocol{}}, nil
+	case "dolev-strong":
+		return dolevstrong.Protocol{}, nil
+	case "lsp":
+		return lsp.Protocol{}, nil
+	case "phase-king":
+		return phaseking.Protocol{}, nil
+	case "strawman-broadcast":
+		return strawman.Broadcast{}, nil
+	case "strawman-thinrelay":
+		width := p.T - 1
+		if width < 1 {
+			width = 1
+		}
+		return strawman.ThinRelay{RelayWidth: width}, nil
+	default:
+		return nil, fmt.Errorf("cli: unknown protocol %q (known: %v)", name, ProtocolNames())
+	}
+}
+
+// ProtocolNames lists the recognized protocol names, sorted.
+func ProtocolNames() []string {
+	names := []string{
+		"alg1", "alg1-multi", "alg2", "alg3", "alg4", "alg4-relay",
+		"alg5", "alg5-nopow", "ic", "dolev-strong", "lsp", "phase-king",
+		"strawman-broadcast", "strawman-thinrelay",
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Adversary resolves an adversary name ("none" and "" yield nil).
+func Adversary(name string, p Params) (adversary.Adversary, error) {
+	switch name {
+	case "", "none":
+		return nil, nil
+	case "silent":
+		return adversary.Silent{}, nil
+	case "crash":
+		return adversary.Crash{CrashAfter: 2}, nil
+	case "split-brain":
+		return adversary.SplitBrain{LowValue: ident.V0, HighValue: ident.V1, SplitAt: ident.ProcID(p.N / 2)}, nil
+	case "multi-faced":
+		return adversary.MultiFaced{Values: []ident.Value{0, 1, 2}}, nil
+	case "garbage":
+		return adversary.Garbage{}, nil
+	case "chaos":
+		return adversary.Chaos{}, nil
+	case "bit-flipper":
+		return adversary.BitFlipper{}, nil
+	default:
+		return nil, fmt.Errorf("cli: unknown adversary %q (known: %v)", name, AdversaryNames())
+	}
+}
+
+// AdversaryNames lists the recognized adversary names, sorted.
+func AdversaryNames() []string {
+	names := []string{"none", "silent", "crash", "split-brain", "multi-faced", "garbage", "chaos", "bit-flipper"}
+	sort.Strings(names)
+	return names
+}
+
+// Scheme resolves a signature scheme name.
+func Scheme(name string, p Params) (sig.Scheme, error) {
+	switch name {
+	case "", "hmac":
+		return sig.NewHMAC(p.N, p.Seed), nil
+	case "ed25519":
+		return sig.NewEd25519(p.N, nil)
+	case "plain":
+		return sig.NewPlain(p.N), nil
+	default:
+		return nil, fmt.Errorf("cli: unknown scheme %q (known: hmac, ed25519, plain)", name)
+	}
+}

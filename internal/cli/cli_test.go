@@ -1,0 +1,109 @@
+package cli_test
+
+import (
+	"context"
+	"testing"
+
+	"byzex/internal/cli"
+	"byzex/internal/core"
+	"byzex/internal/ident"
+)
+
+func TestEveryProtocolNameResolvesAndRuns(t *testing.T) {
+	// Each named protocol must resolve and complete a small run without a
+	// protocol error (agreement semantics differ per protocol; exchange
+	// primitives and strawmen are exempt from the BA check).
+	configs := map[string]struct {
+		n, t  int
+		plain bool
+		ba    bool // assert full Byzantine Agreement conditions
+	}{
+		"alg1":               {5, 2, false, true},
+		"alg1-multi":         {5, 2, false, true},
+		"alg2":               {5, 2, false, true},
+		"alg3":               {12, 2, false, true},
+		"alg4":               {16, 2, false, false},
+		"alg4-relay":         {9, 2, false, false},
+		"alg5":               {20, 2, false, true},
+		"alg5-nopow":         {20, 2, false, true},
+		"ic":                 {5, 1, false, true},
+		"dolev-strong":       {6, 2, false, true},
+		"lsp":                {7, 2, true, true},
+		"phase-king":         {9, 2, true, true},
+		"strawman-broadcast": {5, 1, false, true},
+		"strawman-thinrelay": {8, 2, false, true},
+	}
+	for _, name := range cli.ProtocolNames() {
+		cfg, ok := configs[name]
+		if !ok {
+			t.Fatalf("no test config for protocol %q", name)
+		}
+		params := cli.Params{N: cfg.n, T: cfg.t, Seed: 1}
+		proto, err := cli.Protocol(name, params)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		schemeName := "hmac"
+		if cfg.plain {
+			schemeName = "plain"
+		}
+		scheme, err := cli.Scheme(schemeName, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runCfg := core.Config{
+			Protocol: proto, N: cfg.n, T: cfg.t, Value: ident.V1, Scheme: scheme,
+		}
+		if cfg.ba {
+			if _, _, err := core.RunAndCheck(context.Background(), runCfg); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		} else {
+			if _, err := core.Run(context.Background(), runCfg); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestEveryAdversaryNameResolves(t *testing.T) {
+	for _, name := range cli.AdversaryNames() {
+		adv, err := cli.Adversary(name, cli.Params{N: 9, T: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "none" && adv != nil {
+			t.Fatal("none resolved to a real adversary")
+		}
+		if name != "none" && adv == nil {
+			t.Fatalf("%s resolved to nil", name)
+		}
+	}
+	if _, err := cli.Adversary("bogus", cli.Params{}); err == nil {
+		t.Fatal("bogus adversary accepted")
+	}
+}
+
+func TestUnknownNamesRejected(t *testing.T) {
+	if _, err := cli.Protocol("bogus", cli.Params{}); err == nil {
+		t.Fatal("bogus protocol accepted")
+	}
+	if _, err := cli.Scheme("bogus", cli.Params{N: 2}); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestSchemeDefaults(t *testing.T) {
+	s, err := cli.Scheme("", cli.Params{N: 4, Seed: 9})
+	if err != nil || s.Name() != "hmac" {
+		t.Fatalf("default scheme: %v %v", s, err)
+	}
+	ed, err := cli.Scheme("ed25519", cli.Params{N: 2})
+	if err != nil || ed.Name() != "ed25519" {
+		t.Fatalf("ed25519: %v", err)
+	}
+	pl, err := cli.Scheme("plain", cli.Params{N: 2})
+	if err != nil || pl.Name() != "plain" {
+		t.Fatalf("plain: %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/protocol"
+	"byzex/internal/protocols/alg1"
+	"byzex/internal/protocols/alg2"
+	"byzex/internal/protocols/alg3"
+	"byzex/internal/protocols/alg5"
+)
+
+// TestBinaryProtocolsRejectNonBinaryValues: the Algorithm 1-5 family is
+// defined over {0,1} (the paper fixes the value domain for those
+// constructions); passing another value must fail loudly at construction
+// instead of silently deciding the wrong thing.
+func TestBinaryProtocolsRejectNonBinaryValues(t *testing.T) {
+	cases := []struct {
+		p    protocol.Protocol
+		n, t int
+	}{
+		{alg1.Protocol{}, 5, 2},
+		{alg2.Protocol{}, 5, 2},
+		{alg3.Protocol{S: 2}, 12, 2},
+		{alg5.Protocol{S: 2}, 20, 2},
+	}
+	for _, tc := range cases {
+		_, err := core.Run(context.Background(), core.Config{
+			Protocol: tc.p, N: tc.n, T: tc.t, Value: ident.Value(7),
+		})
+		if err == nil {
+			t.Errorf("%s accepted value 7", tc.p.Name())
+		}
+		// Binary values still work.
+		if _, _, err := core.RunAndCheck(context.Background(), core.Config{
+			Protocol: tc.p, N: tc.n, T: tc.t, Value: ident.V1,
+		}); err != nil {
+			t.Errorf("%s rejected value 1: %v", tc.p.Name(), err)
+		}
+	}
+}

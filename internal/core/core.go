@@ -1,0 +1,215 @@
+// Package core is the public facade of the library: it wires a protocol, an
+// adversary, a signature scheme and the synchronous engine into a single
+// Run call, checks the two Byzantine Agreement conditions on the outcome,
+// and exposes the closed-form bounds proved by the paper so callers
+// (benchmarks, experiments, tests) can compare measured counts against them.
+//
+// Byzantine Agreement (paper, Section 1):
+//
+//	(i)  all correctly operating processors agree on the same value;
+//	(ii) if the transmitter is correct, all correct processors agree on its
+//	     value.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"byzex/internal/adversary"
+	"byzex/internal/history"
+	"byzex/internal/ident"
+	"byzex/internal/protocol"
+	"byzex/internal/sig"
+	"byzex/internal/sim"
+)
+
+// Agreement violation errors.
+var (
+	// ErrNoDecision indicates a correct processor failed to decide.
+	ErrNoDecision = errors.New("core: correct processor did not decide")
+	// ErrDisagreement indicates two correct processors decided differently
+	// (violates condition (i)).
+	ErrDisagreement = errors.New("core: correct processors disagree")
+	// ErrValidity indicates the correct transmitter's value was not adopted
+	// (violates condition (ii)).
+	ErrValidity = errors.New("core: decision differs from correct transmitter's value")
+)
+
+// Config describes one protocol execution.
+type Config struct {
+	// Protocol is the agreement algorithm to run.
+	Protocol protocol.Protocol
+	// N and T are the system size and fault bound.
+	N, T int
+	// Transmitter defaults to processor 0.
+	Transmitter ident.ProcID
+	// Value is the transmitter's input value.
+	Value ident.Value
+	// Scheme is the signature scheme; nil selects HMAC keyed from Seed.
+	Scheme sig.Scheme
+	// Adversary chooses and drives faulty processors; nil means fault-free.
+	Adversary adversary.Adversary
+	// FaultyOverride, when non-nil, replaces the adversary's Corrupt choice.
+	FaultyOverride ident.Set
+	// Seed drives all deterministic randomness in the run.
+	Seed int64
+	// Record captures the execution as a history.History.
+	Record bool
+	// Rushing grants the adversary the rushing power (see sim.Config).
+	Rushing bool
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	// Sim carries decisions and metrics.
+	Sim *sim.Result
+	// History is the recorded execution (nil unless Config.Record).
+	History *history.History
+	// Faulty is the corrupted set used in the run.
+	Faulty ident.Set
+	// Phases is the protocol's scheduled phase count for (n, t).
+	Phases int
+	// Nodes are the state machines after the run, indexed by processor id.
+	// Callers can type-assert protocol-specific interfaces (e.g.
+	// alg2.ProofHolder) to extract artifacts such as transferable proofs.
+	Nodes []sim.Node
+}
+
+// Decision returns the common decision of the correct processors, or an
+// agreement violation error. transmitterValue is used for condition (ii)
+// when the transmitter was correct.
+func (r *Result) Decision(transmitter ident.ProcID, transmitterValue ident.Value) (ident.Value, error) {
+	var (
+		got     ident.Value
+		haveAny bool
+	)
+	for id, d := range r.Sim.Decisions {
+		if r.Faulty.Has(id) {
+			continue
+		}
+		if !d.Decided {
+			return 0, fmt.Errorf("%w: %v", ErrNoDecision, id)
+		}
+		if !haveAny {
+			got, haveAny = d.Value, true
+			continue
+		}
+		if d.Value != got {
+			return 0, fmt.Errorf("%w: %v vs %v", ErrDisagreement, d.Value, got)
+		}
+	}
+	if !haveAny {
+		return 0, fmt.Errorf("%w: no correct processors", ErrNoDecision)
+	}
+	if !r.Faulty.Has(transmitter) && got != transmitterValue {
+		return 0, fmt.Errorf("%w: decided %v, transmitter sent %v", ErrValidity, got, transmitterValue)
+	}
+	return got, nil
+}
+
+// Run executes the configured protocol instance to completion.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Protocol == nil {
+		return nil, errors.New("core: nil protocol")
+	}
+	if err := cfg.Protocol.Check(cfg.N, cfg.T); err != nil {
+		return nil, err
+	}
+	scheme := cfg.Scheme
+	if scheme == nil {
+		scheme = sig.NewHMAC(cfg.N, cfg.Seed^0x5ee_d516)
+	}
+
+	// Determine the corrupted set.
+	faulty := make(ident.Set)
+	var env *adversary.Env
+	if cfg.Adversary != nil {
+		if cfg.FaultyOverride != nil {
+			faulty = cfg.FaultyOverride.Clone()
+		} else {
+			st, err := adversary.NewState(make(ident.Set), scheme, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			faulty = cfg.Adversary.Corrupt(cfg.N, cfg.T, cfg.Transmitter, st.Rng)
+		}
+		st, err := adversary.NewState(faulty, scheme, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		env = &adversary.Env{Protocol: cfg.Protocol, State: st}
+	}
+
+	phases := cfg.Protocol.Phases(cfg.N, cfg.T)
+
+	// Build the node set: protocol nodes for correct processors, adversary
+	// nodes for corrupted ones.
+	nodes := make([]sim.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		id := ident.ProcID(i)
+		signer, err := scheme.Signer(id)
+		if err != nil {
+			return nil, fmt.Errorf("core: signer for %v: %w", id, err)
+		}
+		ncfg := protocol.NodeConfig{
+			ID:          id,
+			N:           cfg.N,
+			T:           cfg.T,
+			Transmitter: cfg.Transmitter,
+			Value:       cfg.Value,
+			Signer:      signer,
+			Verifier:    scheme,
+		}
+		if faulty.Has(id) {
+			nodes[i], err = cfg.Adversary.NewNode(ncfg, env)
+		} else {
+			nodes[i], err = cfg.Protocol.NewNode(ncfg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: building node %v: %w", id, err)
+		}
+	}
+
+	simCfg := sim.Config{
+		N:           cfg.N,
+		T:           cfg.T,
+		Transmitter: cfg.Transmitter,
+		Phases:      phases,
+		Faulty:      faulty,
+		Rushing:     cfg.Rushing,
+	}
+	var rec *history.Recorder
+	if cfg.Record {
+		rec = history.NewRecorder(cfg.N, cfg.Transmitter, cfg.Value, faulty)
+		simCfg.Observers = append(simCfg.Observers, rec)
+	}
+
+	eng, err := sim.New(simCfg, nodes)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Sim: res, Faulty: faulty, Phases: phases, Nodes: nodes}
+	if rec != nil {
+		out.History = rec.History()
+	}
+	return out, nil
+}
+
+// RunAndCheck runs the configuration and verifies both Byzantine Agreement
+// conditions, returning the common decision.
+func RunAndCheck(ctx context.Context, cfg Config) (*Result, ident.Value, error) {
+	res, err := Run(ctx, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	v, err := res.Decision(cfg.Transmitter, cfg.Value)
+	if err != nil {
+		return res, 0, err
+	}
+	return res, v, nil
+}

@@ -1,0 +1,151 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"byzex/internal/adversary"
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/protocols/alg1"
+	"byzex/internal/protocols/dolevstrong"
+	"byzex/internal/sig"
+)
+
+var bg = context.Background()
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := core.Run(bg, core.Config{}); err == nil {
+		t.Fatal("nil protocol accepted")
+	}
+	if _, err := core.Run(bg, core.Config{Protocol: alg1.Protocol{}, N: 6, T: 2}); err == nil {
+		t.Fatal("alg1 with n != 2t+1 accepted")
+	}
+}
+
+func TestRecordProducesHistory(t *testing.T) {
+	res, _, err := core.RunAndCheck(bg, core.Config{
+		Protocol: alg1.Protocol{}, N: 5, T: 2, Value: ident.V1, Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History == nil {
+		t.Fatal("no history recorded")
+	}
+	if res.History.Messages() != res.Sim.Report.MessagesCorrect {
+		t.Fatalf("history/metrics disagree: %d vs %d",
+			res.History.Messages(), res.Sim.Report.MessagesCorrect)
+	}
+	if res.History.Value != ident.V1 {
+		t.Fatal("history value wrong")
+	}
+}
+
+func TestNoRecordByDefault(t *testing.T) {
+	res, err := core.Run(bg, core.Config{Protocol: alg1.Protocol{}, N: 5, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History != nil {
+		t.Fatal("history recorded without Record")
+	}
+}
+
+func TestDecisionErrors(t *testing.T) {
+	// Manufacture results and check the classification.
+	res := &core.Result{
+		Sim:    nil,
+		Faulty: ident.NewSet(),
+	}
+	_ = res
+	// Validity violation: run a protocol that ignores the transmitter by
+	// corrupting everyone's view — simplest is checking the error kinds
+	// returned by a real disagreement, which the lowerbound tests already
+	// exercise. Here check ErrNoDecision via an undecided faulty-free run
+	// is impossible for our protocols, so check sentinel wrapping only.
+	if !errors.Is(errWrap(core.ErrDisagreement), core.ErrDisagreement) {
+		t.Fatal("sentinel wrapping broken")
+	}
+}
+
+func errWrap(err error) error { return &wrapped{err} }
+
+type wrapped struct{ inner error }
+
+func (w *wrapped) Error() string { return "wrap: " + w.inner.Error() }
+func (w *wrapped) Unwrap() error { return w.inner }
+
+func TestFaultyOverrideWins(t *testing.T) {
+	want := ident.NewSet(3)
+	res, err := core.Run(bg, core.Config{
+		Protocol: dolevstrong.Protocol{}, N: 6, T: 2, Value: ident.V1,
+		Adversary: adversary.Silent{}, FaultyOverride: want,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faulty.Len() != 1 || !res.Faulty.Has(3) {
+		t.Fatalf("faulty %v, want {3}", res.Faulty.Sorted())
+	}
+}
+
+func TestExplicitSchemeUsed(t *testing.T) {
+	// Ed25519 end-to-end through a protocol run.
+	scheme, err := sig.NewEd25519(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := core.RunAndCheck(bg, core.Config{
+		Protocol: alg1.Protocol{}, N: 5, T: 2, Value: ident.V1, Scheme: scheme,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicRunsSameSeed(t *testing.T) {
+	run := func() int {
+		res, err := core.Run(bg, core.Config{
+			Protocol: dolevstrong.Protocol{}, N: 7, T: 2, Value: ident.V1,
+			Adversary: adversary.Garbage{}, Seed: 77,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Sim.Report.MessagesTotal()
+	}
+	if run() != run() {
+		t.Fatal("same seed, different traffic")
+	}
+}
+
+func TestNodesExposed(t *testing.T) {
+	res, err := core.Run(bg, core.Config{Protocol: alg1.Protocol{}, N: 5, T: 2, Value: ident.V1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 5 {
+		t.Fatalf("nodes %d", len(res.Nodes))
+	}
+	for i, nd := range res.Nodes {
+		if nd == nil {
+			t.Fatalf("node %d nil", i)
+		}
+	}
+}
+
+func TestTransmitterFaultyValidityWaived(t *testing.T) {
+	adv := adversary.SplitBrain{LowValue: ident.V0, HighValue: ident.V1, SplitAt: 3}
+	res, err := core.Run(bg, core.Config{
+		Protocol: dolevstrong.Protocol{}, N: 7, T: 2, Value: ident.V1, Adversary: adv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decision() must not demand condition (ii) when the transmitter is
+	// faulty: with id 0 in Faulty the call uses only condition (i).
+	if _, err := res.Decision(0, ident.V1); err != nil {
+		t.Fatalf("decision check failed despite faulty transmitter: %v", err)
+	}
+}

@@ -1,0 +1,173 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"byzex/internal/adversary"
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/protocol"
+	"byzex/internal/protocols/alg1"
+	"byzex/internal/protocols/alg2"
+	"byzex/internal/protocols/alg3"
+	"byzex/internal/protocols/alg5"
+	"byzex/internal/protocols/dolevstrong"
+	"byzex/internal/protocols/lsp"
+	"byzex/internal/sig"
+)
+
+// checkAgreementConditions asserts condition (i) always, and condition (ii)
+// when the transmitter is correct.
+func checkAgreementConditions(t *testing.T, label string, res *core.Result, txValue ident.Value) {
+	t.Helper()
+	var first ident.Value
+	seen := false
+	for id, d := range res.Sim.Decisions {
+		if res.Faulty.Has(id) {
+			continue
+		}
+		if !d.Decided {
+			t.Fatalf("%s: %v undecided", label, id)
+		}
+		if !seen {
+			first, seen = d.Value, true
+		} else if d.Value != first {
+			t.Fatalf("%s: disagreement %v vs %v", label, d.Value, first)
+		}
+	}
+	if !res.Faulty.Has(0) && seen && first != txValue {
+		t.Fatalf("%s: validity violated (%v != %v)", label, first, txValue)
+	}
+}
+
+// TestExhaustiveFaultySetsAlg1 enumerates EVERY faulty subset of size ≤ t
+// for a small Algorithm 1 system under the omission-flavoured adversary
+// space (silent coalitions): 2^n subsets filtered to |S| ≤ t, both values.
+func TestExhaustiveFaultySetsAlg1(t *testing.T) {
+	const tt = 2
+	n := 2*tt + 1
+	for mask := 0; mask < (1 << n); mask++ {
+		faulty := make(ident.Set)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				faulty.Add(ident.ProcID(i))
+			}
+		}
+		if faulty.Len() > tt {
+			continue
+		}
+		for _, v := range []ident.Value{ident.V0, ident.V1} {
+			res, err := core.Run(context.Background(), core.Config{
+				Protocol: alg1.Protocol{}, N: n, T: tt, Value: v,
+				Adversary: adversary.Silent{}, FaultyOverride: faulty, Seed: int64(mask),
+			})
+			if err != nil {
+				t.Fatalf("mask=%b v=%v: %v", mask, v, err)
+			}
+			checkAgreementConditions(t, fmt.Sprintf("mask=%b v=%v", mask, v), res, v)
+		}
+	}
+}
+
+// TestExhaustiveSplitPointsAlg2 drives the split-brain transmitter through
+// every audience split for Algorithm 2.
+func TestExhaustiveSplitPointsAlg2(t *testing.T) {
+	const tt = 3
+	n := 2*tt + 1
+	for split := 0; split <= n; split++ {
+		adv := adversary.SplitBrain{LowValue: ident.V0, HighValue: ident.V1, SplitAt: ident.ProcID(split)}
+		res, err := core.Run(context.Background(), core.Config{
+			Protocol: alg2.Protocol{}, N: n, T: tt, Value: ident.V1,
+			Adversary: adv, Seed: int64(split),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgreementConditions(t, fmt.Sprintf("split=%d", split), res, ident.V1)
+	}
+}
+
+// TestChaosSweep runs every protocol under the randomized chaos adversary
+// across many seeds: agreement must hold for every seed, both with and
+// without rushing.
+func TestChaosSweep(t *testing.T) {
+	cases := []struct {
+		p    protocol.Protocol
+		n, t int
+	}{
+		{alg1.Protocol{}, 7, 3},
+		{alg2.Protocol{}, 7, 3},
+		{alg3.Protocol{S: 3}, 20, 2},
+		{alg5.Protocol{S: 2}, 30, 2},
+		{dolevstrong.Protocol{}, 8, 3},
+		{lsp.Protocol{}, 7, 2},
+	}
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for _, tc := range cases {
+		for seed := 0; seed < seeds; seed++ {
+			for _, rushing := range []bool{false, true} {
+				res, err := core.Run(context.Background(), core.Config{
+					Protocol: tc.p, N: tc.n, T: tc.t, Value: ident.V1,
+					Adversary: adversary.Chaos{}, Seed: int64(seed), Rushing: rushing,
+				})
+				if err != nil {
+					t.Fatalf("%s seed=%d rushing=%v: %v", tc.p.Name(), seed, rushing, err)
+				}
+				label := fmt.Sprintf("%s seed=%d rushing=%v", tc.p.Name(), seed, rushing)
+				checkAgreementConditions(t, label, res, ident.V1)
+			}
+		}
+	}
+}
+
+// TestMultiValuedAgreement: the value-generic protocols must agree on
+// values outside {0, 1} (the paper notes the binary restriction is only
+// for the lower-bound proofs).
+func TestMultiValuedAgreement(t *testing.T) {
+	for _, v := range []ident.Value{2, 5, 42, -17, 1 << 40} {
+		for _, tc := range []struct {
+			p    protocol.Protocol
+			n, t int
+		}{
+			{dolevstrong.Protocol{}, 7, 2},
+			{lsp.Protocol{}, 7, 2},
+		} {
+			res, got, err := core.RunAndCheck(context.Background(), core.Config{
+				Protocol: tc.p, N: tc.n, T: tc.t, Value: v, Scheme: schemeFor(tc.p, tc.n),
+			})
+			if err != nil {
+				t.Fatalf("%s v=%v: %v", tc.p.Name(), v, err)
+			}
+			if got != v {
+				t.Fatalf("%s: decided %v, want %v", tc.p.Name(), got, v)
+			}
+			_ = res
+		}
+	}
+}
+
+func schemeFor(p protocol.Protocol, n int) sig.Scheme {
+	if p.Name() == "lsp-om" {
+		return sig.NewPlain(n)
+	}
+	return nil
+}
+
+// TestMultiValuedUnderSplitBrain: a transmitter equivocating between two
+// non-binary values still yields agreement (on one of them or the
+// default).
+func TestMultiValuedUnderSplitBrain(t *testing.T) {
+	adv := adversary.SplitBrain{LowValue: 7, HighValue: 9, SplitAt: 4}
+	res, err := core.Run(context.Background(), core.Config{
+		Protocol: dolevstrong.Protocol{}, N: 8, T: 2, Value: 9, Adversary: adv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgreementConditions(t, "multi-split", res, 9)
+}

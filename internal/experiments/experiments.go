@@ -1,0 +1,177 @@
+// Package experiments regenerates the paper's evaluation: one table per
+// theorem (the paper is theoretical, so its "tables and figures" are the
+// bounds of Theorems 1-7 and the introduction's phase/message trade-off).
+// Each experiment runs the relevant algorithm across parameter sweeps and
+// adversaries, reports measured worst-case counts next to the paper's
+// closed-form bound, and returns an error if any bound is violated.
+//
+// The experiment IDs E1..E10 are indexed in DESIGN.md and the results are
+// recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"byzex/internal/adversary"
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/protocol"
+)
+
+// Table is one regenerated evaluation table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Violations collects bound violations discovered while running (empty
+	// for a successful reproduction).
+	Violations []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Violate records a bound violation.
+func (t *Table) Violate(format string, args ...interface{}) {
+	t.Violations = append(t.Violations, fmt.Sprintf(format, args...))
+}
+
+// Err returns an error summarizing violations, or nil.
+func (t *Table) Err() error {
+	if len(t.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("experiment %s: %s", t.ID, strings.Join(t.Violations, "; "))
+}
+
+// CSV renders the table as RFC-4180-ish CSV (no quoting needed: cells are
+// numbers, identifiers and short phrases without commas by construction).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", t.ID, t.Title)
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		cleaned := make([]string, len(row))
+		for i, cell := range row {
+			cleaned[i] = strings.ReplaceAll(cell, ",", ";")
+		}
+		b.WriteString(strings.Join(cleaned, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render prints the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	for _, v := range t.Violations {
+		fmt.Fprintf(&b, "VIOLATION: %s\n", v)
+	}
+	return b.String()
+}
+
+// worstCase runs the protocol under a suite of adversaries (both fault-free
+// values, split-brain transmitter, silent and crashing coalitions) and
+// returns the maximum message count by correct processors, the maximum
+// signature count, and the phase schedule. Agreement is checked on every
+// run (condition (i) always; condition (ii) when the transmitter is
+// correct).
+func worstCase(ctx context.Context, p protocol.Protocol, n, t int, seed int64) (msgs, sigs, phases int, err error) {
+	type scenario struct {
+		name  string
+		value ident.Value
+		adv   adversary.Adversary
+	}
+	scenarios := []scenario{
+		{"honest-0", ident.V0, nil},
+		{"honest-1", ident.V1, nil},
+	}
+	if t >= 1 {
+		scenarios = append(scenarios,
+			scenario{"split-brain", ident.V1, adversary.SplitBrain{LowValue: ident.V0, HighValue: ident.V1, SplitAt: ident.ProcID(n / 2)}},
+			scenario{"silent", ident.V1, adversary.Silent{}},
+			scenario{"crash", ident.V1, adversary.Crash{CrashAfter: 2}},
+		)
+	}
+	for _, sc := range scenarios {
+		res, runErr := core.Run(ctx, core.Config{
+			Protocol: p, N: n, T: t, Value: sc.value, Adversary: sc.adv, Seed: seed,
+		})
+		if runErr != nil {
+			return 0, 0, 0, fmt.Errorf("%s under %s: %w", p.Name(), sc.name, runErr)
+		}
+		if agErr := checkAgreementOnly(res, sc.value); agErr != nil {
+			return 0, 0, 0, fmt.Errorf("%s under %s: %w", p.Name(), sc.name, agErr)
+		}
+		if m := res.Sim.Report.MessagesCorrect; m > msgs {
+			msgs = m
+		}
+		if s := res.Sim.Report.SignaturesCorrect; s > sigs {
+			sigs = s
+		}
+		phases = res.Phases
+	}
+	return msgs, sigs, phases, nil
+}
+
+// checkAgreementOnly verifies condition (i), and condition (ii) when the
+// transmitter is correct.
+func checkAgreementOnly(res *core.Result, txValue ident.Value) error {
+	transmitterCorrect := !res.Faulty.Has(0)
+	var first ident.Value
+	seen := false
+	for id, d := range res.Sim.Decisions {
+		if res.Faulty.Has(id) {
+			continue
+		}
+		if !d.Decided {
+			return fmt.Errorf("%w: %v", core.ErrNoDecision, id)
+		}
+		if !seen {
+			first, seen = d.Value, true
+		} else if d.Value != first {
+			return fmt.Errorf("%w: %v vs %v", core.ErrDisagreement, d.Value, first)
+		}
+	}
+	if transmitterCorrect && seen && first != txValue {
+		return fmt.Errorf("%w: got %v want %v", core.ErrValidity, first, txValue)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package experiments_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"byzex/internal/experiments"
+)
+
+// The experiment functions assert their own bounds internally (returning an
+// error on any violation), so the tests here simply execute them. The
+// heavier sweeps run under -short via the lighter members only.
+
+func TestTableRendering(t *testing.T) {
+	tbl := &experiments.Table{
+		ID:      "EX",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+	}
+	tbl.AddRow(1, "x")
+	tbl.AddRow(22, "yyy")
+	out := tbl.Render()
+	if !strings.Contains(out, "EX — demo") || !strings.Contains(out, "22") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	if tbl.Err() != nil {
+		t.Fatal("clean table reported error")
+	}
+	tbl.Violate("bad %d", 7)
+	if tbl.Err() == nil || !strings.Contains(tbl.Err().Error(), "bad 7") {
+		t.Fatal("violation not propagated")
+	}
+}
+
+func TestE1(t *testing.T) {
+	if _, err := experiments.E1Alg1(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE2(t *testing.T) {
+	if _, err := experiments.E2Alg2(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE4(t *testing.T) {
+	if _, err := experiments.E4Alg4(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE6(t *testing.T) {
+	if _, err := experiments.E6Theorem1(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE7(t *testing.T) {
+	if _, err := experiments.E7Unauth(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE8(t *testing.T) {
+	if _, err := experiments.E8Theorem2(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeavySweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweeps skipped in -short mode")
+	}
+	for _, f := range []func(context.Context) (*experiments.Table, error){
+		experiments.E3Alg3, experiments.E5Alg5, experiments.E9Tradeoff, experiments.E10Baselines,
+		experiments.E11Ablations, experiments.E12MessageSize, experiments.E13Alg5Breakdown, experiments.E14Scaling,
+	} {
+		if _, err := f(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package grid provides √N × √N grid addressing over a group of N = m²
+// processors, the communication structure of Algorithm 4: phase 1 exchanges
+// along rows, phase 2 along columns, phase 3 along rows again.
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSquare indicates the group size is not a perfect square.
+var ErrNotSquare = errors.New("grid: group size is not a perfect square")
+
+// Grid maps between linear indices 0..m²-1 and (row, col) coordinates.
+// Index i sits at row i/m, column i%m.
+type Grid struct {
+	m int
+}
+
+// New builds a grid over n = m² positions.
+func New(n int) (Grid, error) {
+	m := int(math.Sqrt(float64(n)))
+	for ; m*m < n; m++ {
+	}
+	if m*m != n || n < 1 {
+		return Grid{}, fmt.Errorf("%w: %d", ErrNotSquare, n)
+	}
+	return Grid{m: m}, nil
+}
+
+// Side returns m = √N.
+func (g Grid) Side() int { return g.m }
+
+// N returns the number of positions.
+func (g Grid) N() int { return g.m * g.m }
+
+// Row returns the row of index i.
+func (g Grid) Row(i int) int { return i / g.m }
+
+// Col returns the column of index i.
+func (g Grid) Col(i int) int { return i % g.m }
+
+// Index returns the linear index of (row, col).
+func (g Grid) Index(row, col int) int { return row*g.m + col }
+
+// RowMates returns the indices sharing index i's row, excluding i itself.
+func (g Grid) RowMates(i int) []int {
+	out := make([]int, 0, g.m-1)
+	r := g.Row(i)
+	for c := 0; c < g.m; c++ {
+		if j := g.Index(r, c); j != i {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// ColMates returns the indices sharing index i's column, excluding i itself.
+func (g Grid) ColMates(i int) []int {
+	out := make([]int, 0, g.m-1)
+	c := g.Col(i)
+	for r := 0; r < g.m; r++ {
+		if j := g.Index(r, c); j != i {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// SameRow reports whether indices i and j share a row.
+func (g Grid) SameRow(i, j int) bool { return g.Row(i) == g.Row(j) }
+
+// SameCol reports whether indices i and j share a column.
+func (g Grid) SameCol(i, j int) bool { return g.Col(i) == g.Col(j) }

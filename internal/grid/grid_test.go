@@ -1,0 +1,80 @@
+package grid_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"byzex/internal/grid"
+)
+
+func TestNewValidatesSquares(t *testing.T) {
+	for _, n := range []int{1, 4, 9, 16, 144} {
+		if _, err := grid.New(n); err != nil {
+			t.Errorf("New(%d): %v", n, err)
+		}
+	}
+	for _, n := range []int{0, 2, 3, 5, 8, 15, -4} {
+		if _, err := grid.New(n); err == nil {
+			t.Errorf("New(%d): accepted non-square", n)
+		}
+	}
+}
+
+func TestCoordinates(t *testing.T) {
+	g, _ := grid.New(9)
+	if g.Side() != 3 || g.N() != 9 {
+		t.Fatal("dimensions wrong")
+	}
+	if g.Row(5) != 1 || g.Col(5) != 2 {
+		t.Fatalf("coords of 5: (%d,%d)", g.Row(5), g.Col(5))
+	}
+	if g.Index(1, 2) != 5 {
+		t.Fatal("index inverse wrong")
+	}
+}
+
+func TestMates(t *testing.T) {
+	g, _ := grid.New(9)
+	row := g.RowMates(4) // center: row 1 = {3,4,5}
+	if len(row) != 2 || row[0] != 3 || row[1] != 5 {
+		t.Fatalf("row mates %v", row)
+	}
+	col := g.ColMates(4) // column 1 = {1,4,7}
+	if len(col) != 2 || col[0] != 1 || col[1] != 7 {
+		t.Fatalf("col mates %v", col)
+	}
+	if !g.SameRow(3, 5) || g.SameRow(3, 6) {
+		t.Fatal("SameRow wrong")
+	}
+	if !g.SameCol(1, 7) || g.SameCol(1, 5) {
+		t.Fatal("SameCol wrong")
+	}
+}
+
+func TestQuickRowColPartition(t *testing.T) {
+	// Property: row+col mates of any index cover exactly 2(m-1) distinct
+	// indices, none equal to the index, and index/coordinate conversion
+	// round-trips.
+	f := func(mRaw, iRaw uint8) bool {
+		m := int(mRaw)%12 + 1
+		g, err := grid.New(m * m)
+		if err != nil {
+			return false
+		}
+		i := int(iRaw) % (m * m)
+		if g.Index(g.Row(i), g.Col(i)) != i {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, j := range append(g.RowMates(i), g.ColMates(i)...) {
+			if j == i || seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		return len(seen) == 2*(m-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"byzex/internal/ident"
+)
+
+// JSON transcript format for tooling: `basim -dump` writes it, external
+// analysis (or a later Import) reads it. Labels serialize as base64 via
+// encoding/json's []byte handling.
+
+type jsonEdge struct {
+	From     ident.ProcID   `json:"from"`
+	To       ident.ProcID   `json:"to"`
+	Label    []byte         `json:"label,omitempty"`
+	Signers  []ident.ProcID `json:"signers,omitempty"`
+	SigTotal int            `json:"sigTotal,omitempty"`
+}
+
+type jsonHistory struct {
+	N           int            `json:"n"`
+	Transmitter ident.ProcID   `json:"transmitter"`
+	Value       ident.Value    `json:"value"`
+	Faulty      []ident.ProcID `json:"faulty,omitempty"`
+	Phases      [][]jsonEdge   `json:"phases"`
+}
+
+// Export writes the history as an indented JSON transcript.
+func (h *History) Export(w io.Writer) error {
+	out := jsonHistory{
+		N:           h.N,
+		Transmitter: h.Transmitter,
+		Value:       h.Value,
+		Faulty:      h.Faulty.Sorted(),
+		Phases:      make([][]jsonEdge, 0, h.NumPhases()),
+	}
+	for ph := 1; ph <= h.NumPhases(); ph++ {
+		edges := make([]jsonEdge, 0, len(h.Phases[ph]))
+		for _, e := range h.Phases[ph] {
+			edges = append(edges, jsonEdge{
+				From: e.From, To: e.To, Label: e.Label,
+				Signers: e.Signers, SigTotal: e.SigTotal,
+			})
+		}
+		out.Phases = append(out.Phases, edges)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("history: export: %w", err)
+	}
+	return nil
+}
+
+// Import reads a transcript produced by Export.
+func Import(r io.Reader) (*History, error) {
+	var in jsonHistory
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("history: import: %w", err)
+	}
+	if in.N < 1 {
+		return nil, fmt.Errorf("history: import: n=%d", in.N)
+	}
+	h := New(in.N, in.Transmitter, in.Value)
+	for _, f := range in.Faulty {
+		h.Faulty.Add(f)
+	}
+	for i, edges := range in.Phases {
+		for _, e := range edges {
+			if int(e.From) < 0 || int(e.From) >= in.N || int(e.To) < 0 || int(e.To) >= in.N {
+				return nil, fmt.Errorf("history: import: edge %v->%v out of range", e.From, e.To)
+			}
+			h.Append(i+1, Edge{
+				From: e.From, To: e.To, Label: e.Label,
+				Signers: e.Signers, SigTotal: e.SigTotal,
+			})
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,290 @@
+// Package history implements the formal model of Section 2 of the paper:
+// a history is a finite sequence of phases, each a labelled directed graph
+// over the processors; phase 0 is the single inedge carrying the
+// transmitter's value; the individual subhistory pH consists of the edges
+// with target p; and a processor is correct in a history if each of its
+// outedges carries the label its correctness rule prescribes given its
+// individual subhistory so far.
+//
+// The package provides the data structure, a recorder that captures an
+// engine run as a History, and the queries the lower-bound constructions
+// need: individual subhistories, the signature-exchange sets A(p) of
+// Theorem 1, and message/signature counts restricted to correct senders.
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"byzex/internal/ident"
+	"byzex/internal/sim"
+)
+
+// Edge is one labelled edge of a phase graph: a message From -> To with its
+// label (payload bytes) and signature accounting.
+type Edge struct {
+	From  ident.ProcID
+	To    ident.ProcID
+	Label []byte
+
+	// Signers are the distinct identities whose signatures appear in the
+	// label; SigTotal counts signature links with multiplicity.
+	Signers  []ident.ProcID
+	SigTotal int
+}
+
+// Phase is the edge set of one phase, in send order.
+type Phase []Edge
+
+// History is a recorded execution: the phase-0 value plus the labelled
+// phase graphs. Phases are 1-based; Phases[0] is unused padding so that
+// Phases[k] is phase k.
+type History struct {
+	N           int
+	Transmitter ident.ProcID
+	Value       ident.Value
+	Phases      []Phase
+	// Faulty records which processors were faulty during the recorded run
+	// (empty for the fault-free histories H and G of the proofs).
+	Faulty ident.Set
+}
+
+// New creates an empty history for n processors with the phase-0 inedge
+// labelled v.
+func New(n int, transmitter ident.ProcID, v ident.Value) *History {
+	return &History{
+		N:           n,
+		Transmitter: transmitter,
+		Value:       v,
+		Phases:      []Phase{nil},
+		Faulty:      make(ident.Set),
+	}
+}
+
+// NumPhases returns the highest recorded phase number.
+func (h *History) NumPhases() int { return len(h.Phases) - 1 }
+
+// Append records an edge in the given phase, extending the phase list as
+// needed.
+func (h *History) Append(phase int, e Edge) {
+	for len(h.Phases) <= phase {
+		h.Phases = append(h.Phases, nil)
+	}
+	h.Phases[phase] = append(h.Phases[phase], e)
+}
+
+// PhaseEdges returns the edges of phase k (nil if beyond the recording).
+func (h *History) PhaseEdges(k int) Phase {
+	if k < 0 || k >= len(h.Phases) {
+		return nil
+	}
+	return h.Phases[k]
+}
+
+// Individual returns the individual subhistory pH_k for processor p: for
+// each phase 1..k, the edges with target p, in recorded order. Index 0 of
+// the result is unused padding, mirroring History.Phases.
+func (h *History) Individual(p ident.ProcID, k int) []Phase {
+	if k > h.NumPhases() {
+		k = h.NumPhases()
+	}
+	out := make([]Phase, k+1)
+	for ph := 1; ph <= k; ph++ {
+		for _, e := range h.Phases[ph] {
+			if e.To == p {
+				out[ph] = append(out[ph], e)
+			}
+		}
+	}
+	return out
+}
+
+// SentBy returns, per phase, the edges with source p. Index 0 is padding.
+func (h *History) SentBy(p ident.ProcID) []Phase {
+	out := make([]Phase, h.NumPhases()+1)
+	for ph := 1; ph <= h.NumPhases(); ph++ {
+		for _, e := range h.Phases[ph] {
+			if e.From == p {
+				out[ph] = append(out[ph], e)
+			}
+		}
+	}
+	return out
+}
+
+// Messages counts edges whose source is not in the faulty set.
+func (h *History) Messages() int {
+	n := 0
+	for _, ph := range h.Phases {
+		for _, e := range ph {
+			if !h.Faulty.Has(e.From) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Signatures counts signature links on edges whose source is not faulty —
+// the Theorem 1 quantity.
+func (h *History) Signatures() int {
+	n := 0
+	for _, ph := range h.Phases {
+		for _, e := range ph {
+			if !h.Faulty.Has(e.From) {
+				n += e.SigTotal
+			}
+		}
+	}
+	return n
+}
+
+// ReceivedCount returns the number of edges with target p.
+func (h *History) ReceivedCount(p ident.ProcID) int {
+	n := 0
+	for _, ph := range h.Phases {
+		for _, e := range ph {
+			if e.To == p {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// APSet computes the Theorem 1 set A(p) over one or more histories: the set
+// of processors that either receive the signature of p or whose signature p
+// receives, in at least one of the histories. Following the paper's
+// technical assumption ("every message in an authenticated algorithm
+// carries at least the signature of its sender" — and Corollary 1's reading
+// of unauthenticated messages as carrying exactly the last sender's
+// signature), every edge counts its immediate sender as an implicit signer
+// in addition to the signers embedded in the label. p itself is excluded;
+// callers that follow the proof exactly can remove the transmitter
+// themselves.
+func APSet(p ident.ProcID, hists ...*History) ident.Set {
+	out := make(ident.Set)
+	for _, h := range hists {
+		for _, ph := range h.Phases {
+			for _, e := range ph {
+				if e.To == p {
+					// p receives the signatures of every signer in the
+					// label, plus the immediate sender's.
+					out.Add(e.From)
+					for _, s := range e.Signers {
+						out.Add(s)
+					}
+					continue
+				}
+				if e.From == p {
+					// e carries p's implicit sender signature.
+					out.Add(e.To)
+					continue
+				}
+				// Does e carry p's embedded signature to e.To?
+				for _, s := range e.Signers {
+					if s == p {
+						out.Add(e.To)
+						break
+					}
+				}
+			}
+		}
+	}
+	out.Remove(p)
+	return out
+}
+
+// MinAP returns the processor (excluding the transmitter) with the smallest
+// A(p) over the given histories, together with that set. The proofs of
+// Theorems 1 and 2 pick their victim this way.
+func MinAP(hists ...*History) (ident.ProcID, ident.Set, error) {
+	if len(hists) == 0 {
+		return ident.None, nil, fmt.Errorf("history: no histories")
+	}
+	n := hists[0].N
+	tr := hists[0].Transmitter
+	best := ident.None
+	var bestSet ident.Set
+	for id := 0; id < n; id++ {
+		p := ident.ProcID(id)
+		if p == tr {
+			continue
+		}
+		s := APSet(p, hists...)
+		if best == ident.None || s.Len() < bestSet.Len() {
+			best, bestSet = p, s
+		}
+	}
+	return best, bestSet, nil
+}
+
+// SignatureExchanges counts, over the history, the total number of
+// (message, signer) incidences from correct senders — the quantity summed in
+// the proof of Theorem 1. It equals Signatures() when chains have distinct
+// signers.
+func (h *History) SignatureExchanges() int { return h.Signatures() }
+
+// Recorder captures an engine run as a History. It implements sim.Observer.
+type Recorder struct {
+	hist *History
+}
+
+var _ sim.Observer = (*Recorder)(nil)
+
+// NewRecorder creates a recorder producing a history with the given phase-0
+// value.
+func NewRecorder(n int, transmitter ident.ProcID, v ident.Value, faulty ident.Set) *Recorder {
+	h := New(n, transmitter, v)
+	h.Faulty = faulty.Clone()
+	return &Recorder{hist: h}
+}
+
+// OnSend implements sim.Observer.
+func (r *Recorder) OnSend(e sim.Envelope) {
+	r.hist.Append(e.Phase, Edge{
+		From:     e.From,
+		To:       e.To,
+		Label:    append([]byte(nil), e.Payload...),
+		Signers:  append([]ident.ProcID(nil), e.Signers...),
+		SigTotal: e.SigTotal,
+	})
+}
+
+// History returns the recorded history.
+func (r *Recorder) History() *History { return r.hist }
+
+// Summary renders per-phase edge counts, for debugging and reports.
+func (h *History) Summary() string {
+	var out string
+	for ph := 1; ph <= h.NumPhases(); ph++ {
+		out += fmt.Sprintf("phase %d: %d edges\n", ph, len(h.Phases[ph]))
+	}
+	return out
+}
+
+// EdgesBetween returns the labels sent from -> to in the given phase, in
+// recorded order.
+func (h *History) EdgesBetween(phase int, from, to ident.ProcID) []Edge {
+	var out []Edge
+	for _, e := range h.PhaseEdges(phase) {
+		if e.From == from && e.To == to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Senders returns the sorted set of processors that sent at least one
+// message in the history.
+func (h *History) Senders() []ident.ProcID {
+	set := make(ident.Set)
+	for _, ph := range h.Phases {
+		for _, e := range ph {
+			set.Add(e.From)
+		}
+	}
+	ids := set.Sorted()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,217 @@
+// Package lowerbound makes the paper's two lower-bound theorems executable.
+//
+// Theorem 1 (Ω(nt) signatures, authenticated): in the fault-free histories
+// H (value 0) and G (value 1), every processor p must exchange signatures
+// with at least t+1 processors — the set A(p) — or else the coalition A(p)
+// can behave toward p as in H and toward everybody else as in G, making two
+// correct processors decide differently. AuditSignatures measures min
+// |A(p)| and the signature totals; ReplayAttack mounts the construction
+// against protocols that violate the bound.
+//
+// Theorem 2 (Ω(n + t²) messages, general): a coalition B of ⌊1+t/2⌋
+// processors that ignore the first ⌈t/2⌉ messages they receive (and never
+// talk to each other) must nevertheless each be sent ⌈1+t/2⌉ messages by
+// the correct processors, or else one of them could be correct-but-starved
+// and decide the default. StarvationAudit measures the per-member counts;
+// OmissionAttack mounts the companion starvation construction.
+package lowerbound
+
+import (
+	"context"
+	"fmt"
+
+	"byzex/internal/adversary"
+	"byzex/internal/core"
+	"byzex/internal/history"
+	"byzex/internal/ident"
+	"byzex/internal/protocol"
+	"byzex/internal/sig"
+)
+
+// SigAudit is the Theorem 1 measurement over the two fault-free histories.
+type SigAudit struct {
+	N, T int
+	// HSignatures and GSignatures are the signature totals sent by correct
+	// processors in the value-0 and value-1 histories.
+	HSignatures, GSignatures int
+	// Bound is the paper's n(t+1)/4.
+	Bound int
+	// MinAP is the processor with the smallest signature-exchange set, and
+	// MinAPSize that set's cardinality. Correct protocols need
+	// MinAPSize ≥ t+1.
+	MinAP     ident.ProcID
+	MinAPSize int
+	// APSet is the minimal A(p) itself.
+	APSet ident.Set
+
+	h, g *history.History
+}
+
+// Satisfied reports whether the audited protocol respects Theorem 1's
+// structural requirement (every A(p) has more than t members).
+func (a *SigAudit) Satisfied() bool { return a.MinAPSize >= a.T+1 }
+
+// recordRun executes one fault-free recorded run.
+func recordRun(ctx context.Context, p protocol.Protocol, n, t int, v ident.Value, scheme sig.Scheme) (*core.Result, error) {
+	res, _, err := core.RunAndCheck(ctx, core.Config{
+		Protocol: p, N: n, T: t, Value: v, Scheme: scheme, Record: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: fault-free run v=%v: %w", v, err)
+	}
+	return res, nil
+}
+
+// AuditSignatures runs the protocol fault-free with both values under one
+// shared signature scheme and computes the Theorem 1 quantities.
+func AuditSignatures(ctx context.Context, p protocol.Protocol, n, t int, scheme sig.Scheme) (*SigAudit, error) {
+	if scheme == nil {
+		scheme = sig.NewHMAC(n, 0xD01Ef)
+	}
+	resH, err := recordRun(ctx, p, n, t, ident.V0, scheme)
+	if err != nil {
+		return nil, err
+	}
+	resG, err := recordRun(ctx, p, n, t, ident.V1, scheme)
+	if err != nil {
+		return nil, err
+	}
+	h, g := resH.History, resG.History
+	minP, minSet, err := history.MinAP(h, g)
+	if err != nil {
+		return nil, err
+	}
+	return &SigAudit{
+		N: n, T: t,
+		HSignatures: h.Signatures(),
+		GSignatures: g.Signatures(),
+		Bound:       core.SigLowerBound(n, t),
+		MinAP:       minP,
+		MinAPSize:   minSet.Len(),
+		APSet:       minSet,
+		h:           h, g: g,
+	}, nil
+}
+
+// AttackOutcome describes a mounted lower-bound attack.
+type AttackOutcome struct {
+	// Victim is the processor the construction isolates.
+	Victim ident.ProcID
+	// Faulty is the corrupted coalition.
+	Faulty ident.Set
+	// Violation is the Byzantine Agreement condition that broke (nil means
+	// the protocol survived the attack).
+	Violation error
+	// Decisions are the correct processors' decisions for inspection.
+	Decisions map[ident.ProcID]ident.Value
+}
+
+// Broke reports whether the attack violated Byzantine Agreement.
+func (o *AttackOutcome) Broke() bool { return o.Violation != nil }
+
+// ReplayAttack mounts Theorem 1's indistinguishability construction against
+// the protocol: it finds a processor p with |A(p)| ≤ t over the fault-free
+// histories H and G, corrupts exactly A(p), and has each member replay its
+// H-sends toward p and its G-sends toward everybody else. If the protocol
+// really needed fewer than t+1 signature partners per processor, p decides
+// H's value while the rest decide G's.
+//
+// It returns ErrBoundRespected if every A(p) is large enough to make the
+// construction inapplicable (the expected result for correct protocols).
+func ReplayAttack(ctx context.Context, p protocol.Protocol, n, t int, scheme sig.Scheme) (*AttackOutcome, error) {
+	if scheme == nil {
+		scheme = sig.NewHMAC(n, 0xD01Ef)
+	}
+	audit, err := AuditSignatures(ctx, p, n, t, scheme)
+	if err != nil {
+		return nil, err
+	}
+	if audit.Satisfied() {
+		return nil, fmt.Errorf("%w: min |A(p)| = %d > t = %d", ErrBoundRespected, audit.MinAPSize, t)
+	}
+
+	victim := audit.MinAP
+	coalition := audit.APSet
+	schedules := make(map[ident.ProcID]*adversary.ReplaySchedule, coalition.Len())
+	for q := range coalition {
+		sched := &adversary.ReplaySchedule{
+			Victim:   victim,
+			ToVictim: make(map[int][]adversary.ReplayEdge),
+			ToOthers: make(map[int][]adversary.ReplayEdge),
+		}
+		for phase, edges := range audit.h.SentBy(q) {
+			for _, e := range edges {
+				if e.To != victim {
+					continue
+				}
+				sched.ToVictim[phase] = append(sched.ToVictim[phase], replayEdge(e))
+			}
+		}
+		for phase, edges := range audit.g.SentBy(q) {
+			for _, e := range edges {
+				if e.To == victim {
+					continue
+				}
+				sched.ToOthers[phase] = append(sched.ToOthers[phase], replayEdge(e))
+			}
+		}
+		schedules[q] = sched
+	}
+
+	adv := adversary.Replay{FaultySet: coalition, Schedules: schedules}
+	// Correct processors (including the transmitter, when it is not in the
+	// coalition) live in the G-world: the transmitter's value is G's.
+	res, err := core.Run(ctx, core.Config{
+		Protocol: p, N: n, T: t, Value: ident.V1, Scheme: scheme,
+		Adversary: adv, FaultyOverride: coalition,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outcome(res, victim, ident.V1, ident.ProcID(0)), nil
+}
+
+// ErrBoundRespected is returned by the attack constructors when the audited
+// protocol satisfies the bound and the construction cannot be mounted.
+var ErrBoundRespected = fmt.Errorf("lowerbound: protocol respects the bound; attack not applicable")
+
+func replayEdge(e history.Edge) adversary.ReplayEdge {
+	return adversary.ReplayEdge{
+		To:       e.To,
+		Label:    e.Label,
+		Signers:  e.Signers,
+		SigTotal: e.SigTotal,
+	}
+}
+
+// outcome checks the two agreement conditions over a finished run.
+func outcome(res *core.Result, victim ident.ProcID, txValue ident.Value, transmitter ident.ProcID) *AttackOutcome {
+	out := &AttackOutcome{
+		Victim:    victim,
+		Faulty:    res.Faulty,
+		Decisions: make(map[ident.ProcID]ident.Value),
+	}
+	var (
+		first   ident.Value
+		haveAny bool
+	)
+	for id, d := range res.Sim.Decisions {
+		if res.Faulty.Has(id) {
+			continue
+		}
+		if !d.Decided {
+			out.Violation = fmt.Errorf("%w: %v", core.ErrNoDecision, id)
+			continue
+		}
+		out.Decisions[id] = d.Value
+		if !haveAny {
+			first, haveAny = d.Value, true
+		} else if d.Value != first && out.Violation == nil {
+			out.Violation = fmt.Errorf("%w: %v decided %v, others %v", core.ErrDisagreement, id, d.Value, first)
+		}
+	}
+	if out.Violation == nil && haveAny && !res.Faulty.Has(transmitter) && first != txValue {
+		out.Violation = fmt.Errorf("%w: decided %v, transmitter sent %v", core.ErrValidity, first, txValue)
+	}
+	return out
+}

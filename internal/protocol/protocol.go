@@ -1,0 +1,138 @@
+// Package protocol defines the interface every Byzantine Agreement
+// algorithm in this module implements, plus small helpers shared by the
+// protocol implementations (signature-aware send, broadcast).
+//
+// A Protocol is a factory for per-processor state machines (sim.Node). The
+// same factories drive the in-memory engine, the TCP transport, the
+// adversary wrappers, and the history/replay machinery.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"byzex/internal/ident"
+	"byzex/internal/sig"
+	"byzex/internal/sim"
+)
+
+// ErrBadParams indicates n/t (or protocol-specific parameters) are outside
+// the protocol's domain.
+var ErrBadParams = errors.New("protocol: invalid parameters")
+
+// NodeConfig carries everything a processor needs at construction time:
+// its identity, the system parameters, its private signer, and the public
+// verifier. Value is the initial value and is meaningful only for the
+// transmitter (phase 0 of the paper's model: the single inedge labeled v).
+type NodeConfig struct {
+	ID          ident.ProcID
+	N           int
+	T           int
+	Transmitter ident.ProcID
+	Value       ident.Value
+	Signer      sig.Signer
+	Verifier    sig.Verifier
+}
+
+// Validate checks structural consistency of the configuration.
+func (c NodeConfig) Validate() error {
+	switch {
+	case c.N < 1:
+		return fmt.Errorf("%w: n=%d", ErrBadParams, c.N)
+	case c.T < 0:
+		return fmt.Errorf("%w: t=%d", ErrBadParams, c.T)
+	case int(c.ID) < 0 || int(c.ID) >= c.N:
+		return fmt.Errorf("%w: id %v out of range", ErrBadParams, c.ID)
+	case int(c.Transmitter) < 0 || int(c.Transmitter) >= c.N:
+		return fmt.Errorf("%w: transmitter %v out of range", ErrBadParams, c.Transmitter)
+	case c.Signer == nil:
+		return fmt.Errorf("%w: nil signer", ErrBadParams)
+	case c.Verifier == nil:
+		return fmt.Errorf("%w: nil verifier", ErrBadParams)
+	case c.Signer.ID() != c.ID:
+		return fmt.Errorf("%w: signer for %v given to %v", ErrBadParams, c.Signer.ID(), c.ID)
+	}
+	return nil
+}
+
+// IsTransmitter reports whether this configuration belongs to the
+// transmitter.
+func (c NodeConfig) IsTransmitter() bool { return c.ID == c.Transmitter }
+
+// RequireBinaryValue rejects transmitter inputs outside {0, 1}. The paper's
+// Algorithms 1-5 are stated for the binary domain ("the values the
+// transmitter may send are 0 or 1"); protocols built on correct 1-messages
+// must refuse other inputs instead of silently misdeciding. Multi-valued
+// variants (alg1.MultiProtocol, dolevstrong, lsp, phaseking, ic) accept any
+// value.
+func (c NodeConfig) RequireBinaryValue() error {
+	if c.IsTransmitter() && c.Value != 0 && c.Value != 1 {
+		return fmt.Errorf("%w: binary protocol cannot carry value %v (use the multi-valued variants)", ErrBadParams, c.Value)
+	}
+	return nil
+}
+
+// Protocol is a Byzantine Agreement algorithm: a factory for processor
+// state machines plus its phase schedule.
+type Protocol interface {
+	// Name identifies the protocol in reports ("alg1", "dolev-strong", ...).
+	Name() string
+	// Check validates that the protocol supports the given n and t.
+	Check(n, t int) error
+	// Phases returns the last phase during which the protocol sends
+	// messages, for the given parameters.
+	Phases(n, t int) int
+	// NewNode builds the state machine for one processor.
+	NewNode(cfg NodeConfig) (sim.Node, error)
+}
+
+// Send transmits payload to a single recipient, deriving the envelope's
+// signature accounting from the chains embedded in the payload. Protocols
+// must pass every chain the payload carries so Theorem 1 accounting and the
+// A(p) sets remain exact.
+func Send(ctx *sim.Context, to ident.ProcID, payload []byte, chains ...sig.Chain) error {
+	signers, total := summarize(chains)
+	return ctx.Send(to, payload, signers, total)
+}
+
+// Broadcast sends payload to every processor except the sender.
+func Broadcast(ctx *sim.Context, payload []byte, chains ...sig.Chain) error {
+	signers, total := summarize(chains)
+	for id := 0; id < ctx.N(); id++ {
+		pid := ident.ProcID(id)
+		if pid == ctx.ID() {
+			continue
+		}
+		if err := ctx.Send(pid, payload, signers, total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendToAll sends payload to each listed recipient (skipping the sender if
+// present).
+func SendToAll(ctx *sim.Context, to []ident.ProcID, payload []byte, chains ...sig.Chain) error {
+	signers, total := summarize(chains)
+	for _, pid := range to {
+		if pid == ctx.ID() {
+			continue
+		}
+		if err := ctx.Send(pid, payload, signers, total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func summarize(chains []sig.Chain) ([]ident.ProcID, int) {
+	total := 0
+	set := make(ident.Set)
+	for _, c := range chains {
+		total += len(c)
+		for _, l := range c {
+			set.Add(l.Signer)
+		}
+	}
+	return set.Sorted(), total
+}

@@ -1,0 +1,288 @@
+// Package alg1 implements Algorithm 1 of the paper (Theorem 3): an
+// authenticated Byzantine Agreement protocol for n = 2t+1 processors that
+// finishes in t+2 phases and sends at most 2t² + 2t messages.
+//
+// The 2t non-transmitter processors are split into sets A and B of size t.
+// Communication follows the graph G formed by the complete bipartite graph
+// on (A, B) plus edges from the transmitter q to everybody. A "correct
+// 1-message" received at phase k is the value 1 carrying a signature chain
+// that, together with the receiver, forms a simple path of length k from q
+// through alternating sides of G.
+//
+//	Phase 1:        the transmitter signs and sends its value to everybody.
+//	Phases 2..t+2:  on first receiving a correct 1-message, a processor
+//	                signs it and sends it to everybody on the other side.
+//	Decision:       1 if a correct 1-message arrived by phase t+2, else 0.
+//
+// The Core type is embeddable so Algorithms 2, 3 and 5 can run it among a
+// subgroup of a larger system.
+package alg1
+
+import (
+	"fmt"
+
+	"byzex/internal/ident"
+	"byzex/internal/protocol"
+	"byzex/internal/sig"
+	"byzex/internal/sim"
+)
+
+// Core is the per-processor state machine, operating within an explicit
+// group (group[0] is the transmitter; the remaining 2t members split into
+// A = group[1..t] and B = group[t+1..2t]).
+type Core struct {
+	group    []ident.ProcID
+	indexOf  map[ident.ProcID]int
+	t        int
+	me       int // my index within group
+	value    ident.Value
+	signer   sig.Signer
+	verifier sig.Verifier
+
+	got1    bool
+	got1At  int // relative phase at which the first correct 1-message arrived
+	best    sig.SignedValue
+	relayed bool
+}
+
+// NewCore builds the Algorithm 1 state machine for group member me. The
+// group must have exactly 2t+1 members; value is used only by the
+// transmitter (group[0]).
+func NewCore(group []ident.ProcID, t int, me ident.ProcID, value ident.Value, signer sig.Signer, verifier sig.Verifier) (*Core, error) {
+	if len(group) != 2*t+1 {
+		return nil, fmt.Errorf("%w: alg1 needs |group| = 2t+1, got %d for t=%d", protocol.ErrBadParams, len(group), t)
+	}
+	idx := make(map[ident.ProcID]int, len(group))
+	for i, id := range group {
+		if _, dup := idx[id]; dup {
+			return nil, fmt.Errorf("%w: duplicate group member %v", protocol.ErrBadParams, id)
+		}
+		idx[id] = i
+	}
+	mi, ok := idx[me]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v not in group", protocol.ErrBadParams, me)
+	}
+	return &Core{
+		group:    append([]ident.ProcID(nil), group...),
+		indexOf:  idx,
+		t:        t,
+		me:       mi,
+		value:    value,
+		signer:   signer,
+		verifier: verifier,
+	}, nil
+}
+
+// LastPhase returns the last phase during which Algorithm 1 sends (t+2).
+// One further delivery-only step completes the decision.
+func LastPhase(t int) int { return t + 2 }
+
+// side classifies a group index: 0 = transmitter, 1 = set A, 2 = set B.
+func (c *Core) side(idx int) int {
+	switch {
+	case idx == 0:
+		return 0
+	case idx <= c.t:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// otherSide returns the group indices of the opposite non-transmitter side.
+func (c *Core) otherSide() []ident.ProcID {
+	var lo, hi int
+	if c.side(c.me) == 1 {
+		lo, hi = c.t+1, 2*c.t
+	} else {
+		lo, hi = 1, c.t
+	}
+	out := make([]ident.ProcID, 0, c.t)
+	for i := lo; i <= hi; i++ {
+		out = append(out, c.group[i])
+	}
+	return out
+}
+
+// isCorrect1Message validates a payload received at relative phase k (i.e.
+// sent during phase k) against the "correct 1-message" predicate for this
+// receiver.
+func (c *Core) isCorrect1Message(payload []byte, from ident.ProcID, k int) (sig.SignedValue, bool) {
+	sv, err := sig.UnmarshalSignedValue(payload)
+	if err != nil || sv.Value != ident.V1 {
+		return sig.SignedValue{}, false
+	}
+	if len(sv.Chain) != k {
+		return sig.SignedValue{}, false
+	}
+	// The chain plus this receiver must form a simple path of length k from
+	// the transmitter through G.
+	prev := -1
+	seen := make(ident.Set, k+1)
+	for i, link := range sv.Chain {
+		idx, ok := c.indexOf[link.Signer]
+		if !ok || !seen.Add(link.Signer) {
+			return sig.SignedValue{}, false
+		}
+		s := c.side(idx)
+		switch {
+		case i == 0:
+			if s != 0 { // path starts at the transmitter
+				return sig.SignedValue{}, false
+			}
+		case s == 0: // transmitter cannot reappear
+			return sig.SignedValue{}, false
+		case i > 1 && s == prev: // must alternate sides after the first hop
+			return sig.SignedValue{}, false
+		}
+		prev = s
+	}
+	// The edge (last signer -> receiver) must exist in G and keep the path
+	// simple: the receiver must not already be on it.
+	if seen.Has(c.group[c.me]) {
+		return sig.SignedValue{}, false
+	}
+	if k > 1 && c.side(c.me) == prev {
+		return sig.SignedValue{}, false
+	}
+	// The immediate sender must be the last signer (paths are relayed hop
+	// by hop; accepting detours would let faulty processors spend correct
+	// processors' single relay on malformed routes).
+	if from != sv.Chain[len(sv.Chain)-1].Signer {
+		return sig.SignedValue{}, false
+	}
+	if err := sv.Verify(c.verifier); err != nil {
+		return sig.SignedValue{}, false
+	}
+	return sv, true
+}
+
+// Step advances the state machine. phase is the relative phase (1-based);
+// inbox must contain only messages addressed to this member that were sent
+// during phase-1 by other group members (callers embedding the core filter
+// accordingly). Messages are sent through ctx at the current engine phase,
+// which embedders must keep aligned with the relative phase.
+func (c *Core) Step(ctx *sim.Context, inbox []sim.Envelope, phase int) error {
+	if c.me == 0 {
+		// Transmitter: sign and send the value to everybody at phase 1.
+		if phase == 1 {
+			sv := sig.NewSignedValue(c.signer, c.value)
+			payload := sv.Marshal()
+			if err := protocol.SendToAll(ctx, c.group[1:], payload, sv.Chain); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Scan the inbox (messages sent during phase-1) for correct 1-messages.
+	if !c.got1 && phase > 1 {
+		for _, env := range inbox {
+			if sv, ok := c.isCorrect1Message(env.Payload, env.From, phase-1); ok {
+				c.got1 = true
+				c.got1At = phase - 1
+				c.best = sv
+				break
+			}
+		}
+	}
+
+	// Relay once: sign the first correct 1-message and send it to the
+	// other side, within the sending window (phases 2..t+2).
+	if c.got1 && !c.relayed && phase >= 2 && phase <= c.t+2 {
+		c.relayed = true
+		signed := c.best.CoSign(c.signer)
+		payload := signed.Marshal()
+		if err := protocol.SendToAll(ctx, c.otherSide(), payload, signed.Chain); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decide implements the decision function: the transmitter keeps its own
+// value; everybody else decides 1 iff a correct 1-message arrived by phase
+// t+2.
+func (c *Core) Decide() (ident.Value, bool) {
+	if c.me == 0 {
+		return c.value, true
+	}
+	if c.got1 {
+		return ident.V1, true
+	}
+	return ident.V0, true
+}
+
+// Committed returns the value this member has committed to (identical to
+// Decide; Algorithm 2 reads it once Algorithm 1 has completed).
+func (c *Core) Committed() ident.Value {
+	v, _ := c.Decide()
+	return v
+}
+
+// Evidence returns the correct 1-message that triggered the decision, when
+// the decision is 1 and this member is not the transmitter.
+func (c *Core) Evidence() (sig.SignedValue, bool) { return c.best, c.got1 }
+
+// ReceivedAt returns the relative phase at which the first correct
+// 1-message arrived (0 when none did).
+func (c *Core) ReceivedAt() int {
+	if !c.got1 {
+		return 0
+	}
+	return c.got1At
+}
+
+// ---------------------------------------------------------------------------
+// Protocol wrapper (standalone use: the group is the whole system).
+
+// Protocol runs Algorithm 1 over the entire system (n = 2t+1, transmitter
+// is processor 0).
+type Protocol struct{}
+
+var _ protocol.Protocol = Protocol{}
+
+// Name implements protocol.Protocol.
+func (Protocol) Name() string { return "alg1" }
+
+// Check implements protocol.Protocol: Algorithm 1 requires n = 2t+1, t ≥ 1.
+func (Protocol) Check(n, t int) error {
+	if t < 1 || n != 2*t+1 {
+		return fmt.Errorf("%w: alg1 requires n = 2t+1 with t ≥ 1 (got n=%d t=%d)", protocol.ErrBadParams, n, t)
+	}
+	return nil
+}
+
+// Phases implements protocol.Protocol.
+func (Protocol) Phases(_, t int) int { return LastPhase(t) }
+
+// NewNode implements protocol.Protocol.
+func (Protocol) NewNode(cfg protocol.NodeConfig) (sim.Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.RequireBinaryValue(); err != nil {
+		return nil, err
+	}
+	if cfg.Transmitter != 0 {
+		return nil, fmt.Errorf("%w: alg1 assumes transmitter 0", protocol.ErrBadParams)
+	}
+	core, err := NewCore(ident.Range(cfg.N), cfg.T, cfg.ID, cfg.Value, cfg.Signer, cfg.Verifier)
+	if err != nil {
+		return nil, err
+	}
+	return &node{core: core}, nil
+}
+
+type node struct {
+	core *Core
+}
+
+var _ sim.Node = (*node)(nil)
+
+func (n *node) Step(ctx *sim.Context, inbox []sim.Envelope) error {
+	return n.core.Step(ctx, inbox, ctx.Phase())
+}
+
+func (n *node) Decide() (ident.Value, bool) { return n.core.Decide() }

@@ -1,0 +1,96 @@
+package alg2_test
+
+import (
+	"context"
+	"testing"
+
+	"byzex/internal/adversary"
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/protocols/alg2"
+	"byzex/internal/sig"
+)
+
+// runAlg2 executes Algorithm 2 and returns the result plus decision checks.
+func runAlg2(t *testing.T, tt int, v ident.Value, adv adversary.Adversary) *core.Result {
+	t.Helper()
+	n := 2*tt + 1
+	res, _, err := core.RunAndCheck(context.Background(), core.Config{
+		Protocol: alg2.Protocol{}, N: n, T: tt, Value: v, Adversary: adv, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("t=%d v=%v: %v", tt, v, err)
+	}
+	return res
+}
+
+func TestFaultFreeBothValues(t *testing.T) {
+	for tt := 1; tt <= 6; tt++ {
+		for _, v := range []ident.Value{ident.V0, ident.V1} {
+			res := runAlg2(t, tt, v, nil)
+			if got, bound := res.Sim.Report.MessagesCorrect, core.Alg2MsgUpperBound(tt); got > bound {
+				t.Errorf("t=%d v=%v: %d msgs > bound %d", tt, v, got, bound)
+			}
+			if want := core.Alg2Phases(tt); res.Phases != want {
+				t.Errorf("t=%d: phases %d, want %d", tt, res.Phases, want)
+			}
+		}
+	}
+}
+
+func TestProofsHeldByAllCorrect(t *testing.T) {
+	// Every correct processor must hold a proof with ≥ t other-signatures
+	// after 3t+3 phases.
+	for tt := 1; tt <= 5; tt++ {
+		for _, v := range []ident.Value{ident.V0, ident.V1} {
+			n := 2*tt + 1
+			scheme := sig.NewHMAC(n, 42)
+			res, _, err := core.RunAndCheck(context.Background(), core.Config{
+				Protocol: alg2.Protocol{}, N: n, T: tt, Value: v, Scheme: scheme,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, nd := range res.Nodes {
+				ph, ok := nd.(alg2.ProofHolder)
+				if !ok {
+					t.Fatalf("node %d does not expose proofs", i)
+				}
+				proof, has := ph.Proof()
+				if !has {
+					t.Fatalf("t=%d v=%v: node %d holds no proof", tt, v, i)
+				}
+				if proof.Value != v {
+					t.Fatalf("t=%d: node %d proof value %v, want %v", tt, i, proof.Value, v)
+				}
+				if err := alg2.VerifyProof(proof, ident.Range(n), tt, scheme); err != nil {
+					t.Fatalf("t=%d: node %d proof rejected: %v", tt, i, err)
+				}
+			}
+		}
+	}
+}
+
+func TestVerifyProofRejectsForgery(t *testing.T) {
+	n, tt := 7, 3
+	scheme := sig.NewHMAC(n, 1)
+	// A proof with too few distinct signers must be rejected.
+	s0, _ := scheme.Signer(0)
+	sv := sig.NewSignedValue(s0, ident.V1)
+	if err := alg2.VerifyProof(sv, ident.Range(n), tt, scheme); err == nil {
+		t.Fatal("accepted proof with a single signature")
+	}
+	// A proof with enough signers but a tampered value must be rejected.
+	for i := 1; i <= tt; i++ {
+		si, _ := scheme.Signer(ident.ProcID(i))
+		sv = sv.CoSign(si)
+	}
+	if err := alg2.VerifyProof(sv, ident.Range(n), tt, scheme); err != nil {
+		t.Fatalf("genuine proof rejected: %v", err)
+	}
+	tampered := sv
+	tampered.Value = ident.V0
+	if err := alg2.VerifyProof(tampered, ident.Range(n), tt, scheme); err == nil {
+		t.Fatal("accepted proof with tampered value")
+	}
+}

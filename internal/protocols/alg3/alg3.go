@@ -1,0 +1,447 @@
+// Package alg3 implements Algorithm 3 of the paper (Lemma 1, Theorem 5):
+// Byzantine Agreement for general n in t + 2s + 3 phases with at most
+// 2n + 4tn/s + 3t²s messages, where s parameterizes the size of the passive
+// sets. Choosing s = 4t yields the O(n + t³) bound of Theorem 5; the
+// introduction's phase/message trade-off (t + 3 + t/α phases, O(αn)
+// messages) is this algorithm with s = ⌈t/(2α)⌉.
+//
+// The first 2t+1 processors ("active", including the transmitter) run
+// Algorithm 1 among themselves. The remaining m = n-(2t+1) "passive"
+// processors are split into ⌈m/s⌉ sets of size ≤ s, each with a root:
+//
+//	Phase t+3:        every active processor sends the agreed value to
+//	                  every root; a root adopts the value received from
+//	                  ≥ t+1 active processors as m(1).
+//	Phases t+4..t+2s+1: the root walks its set: it sends m(j-1) to c(j),
+//	                  which signs and returns it; the root accumulates the
+//	                  signatures into m(j).
+//	Phase t+2s+2:     each root reports m(s) to every active processor.
+//	Phase t+2s+3:     each active processor sends the agreed value directly
+//	                  to every set member whose signature is missing from
+//	                  its root's report.
+package alg3
+
+import (
+	"fmt"
+
+	"byzex/internal/ident"
+	"byzex/internal/protocol"
+	"byzex/internal/protocols/alg1"
+	"byzex/internal/sig"
+	"byzex/internal/sim"
+	"byzex/internal/wire"
+)
+
+// Message tags.
+const (
+	tagActiveValue byte = 0x31 // active -> root (phase t+3) / active -> member (last phase)
+	tagChainDown   byte = 0x32 // root -> member
+	tagChainUp     byte = 0x33 // member -> root
+	tagReport      byte = 0x34 // root -> active
+)
+
+// Protocol is Algorithm 3 with set-size parameter S.
+type Protocol struct {
+	// S is the passive set size (1 ≤ S). Theorem 5 uses S = 4t.
+	S int
+}
+
+var _ protocol.Protocol = Protocol{}
+
+// Name implements protocol.Protocol.
+func (p Protocol) Name() string { return fmt.Sprintf("alg3(s=%d)", p.S) }
+
+// Check implements protocol.Protocol.
+func (p Protocol) Check(n, t int) error {
+	if t < 1 || n < 2*t+1 {
+		return fmt.Errorf("%w: alg3 requires n ≥ 2t+1 with t ≥ 1 (got n=%d t=%d)", protocol.ErrBadParams, n, t)
+	}
+	if p.S < 1 {
+		return fmt.Errorf("%w: alg3 requires s ≥ 1 (got %d)", protocol.ErrBadParams, p.S)
+	}
+	return nil
+}
+
+// Phases implements protocol.Protocol: t + 2s + 3.
+func (p Protocol) Phases(_, t int) int { return t + 2*p.S + 3 }
+
+// layout computes the deterministic partition of the system.
+type layout struct {
+	n, t, s int
+	actives []ident.ProcID // ids 0..2t
+	sets    [][]ident.ProcID
+}
+
+func newLayout(n, t, s int) layout {
+	l := layout{n: n, t: t, s: s, actives: ident.Range(2*t + 1)}
+	passive := make([]ident.ProcID, 0, n-(2*t+1))
+	for id := 2*t + 1; id < n; id++ {
+		passive = append(passive, ident.ProcID(id))
+	}
+	for len(passive) > 0 {
+		k := s
+		if k > len(passive) {
+			k = len(passive)
+		}
+		l.sets = append(l.sets, passive[:k])
+		passive = passive[k:]
+	}
+	return l
+}
+
+// locate returns (setIdx, memberIdx) for a passive id; memberIdx 0 is the
+// root. ok is false for active ids.
+func (l layout) locate(id ident.ProcID) (int, int, bool) {
+	if int(id) < 2*l.t+1 {
+		return 0, 0, false
+	}
+	off := int(id) - (2*l.t + 1)
+	return off / l.s, off % l.s, true
+}
+
+// NewNode implements protocol.Protocol.
+func (p Protocol) NewNode(cfg protocol.NodeConfig) (sim.Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.RequireBinaryValue(); err != nil {
+		return nil, err
+	}
+	if cfg.Transmitter != 0 {
+		return nil, fmt.Errorf("%w: alg3 assumes transmitter 0", protocol.ErrBadParams)
+	}
+	l := newLayout(cfg.N, cfg.T, p.S)
+	if int(cfg.ID) < len(l.actives) {
+		inner, err := alg1.NewCore(l.actives, cfg.T, cfg.ID, cfg.Value, cfg.Signer, cfg.Verifier)
+		if err != nil {
+			return nil, err
+		}
+		return &activeNode{cfg: cfg, l: l, inner: inner}, nil
+	}
+	setIdx, memberIdx, _ := l.locate(cfg.ID)
+	if memberIdx == 0 {
+		return &rootNode{cfg: cfg, l: l, setIdx: setIdx}, nil
+	}
+	return &memberNode{cfg: cfg, l: l, setIdx: setIdx, memberIdx: memberIdx}, nil
+}
+
+// encodeTagged marshals a tagged SignedValue payload.
+func encodeTagged(tag byte, sv sig.SignedValue) []byte {
+	w := wire.NewWriter(24 + len(sv.Chain)*48)
+	w.Byte(tag)
+	sv.Encode(w)
+	return w.Bytes()
+}
+
+// decodeTagged parses a tagged SignedValue payload; ok is false on any
+// mismatch.
+func decodeTagged(payload []byte, wantTag byte) (sig.SignedValue, bool) {
+	if len(payload) == 0 || payload[0] != wantTag {
+		return sig.SignedValue{}, false
+	}
+	r := wire.NewReader(payload[1:])
+	sv := sig.DecodeSignedValue(r)
+	if r.Finish() != nil {
+		return sig.SignedValue{}, false
+	}
+	return sv, true
+}
+
+// ---------------------------------------------------------------------------
+// Active node
+
+type activeNode struct {
+	cfg   protocol.NodeConfig
+	l     layout
+	inner *alg1.Core
+
+	committed    ident.Value
+	hasCommitted bool
+}
+
+var _ sim.Node = (*activeNode)(nil)
+
+func (a *activeNode) Step(ctx *sim.Context, inbox []sim.Envelope) error {
+	t := a.cfg.T
+	phase := ctx.Phase()
+	if phase <= t+3 {
+		if err := a.inner.Step(ctx, inbox, phase); err != nil {
+			return err
+		}
+	}
+	switch {
+	case phase == t+3:
+		// Commit the Algorithm 1 outcome and inform every root.
+		a.committed, a.hasCommitted = a.inner.Committed(), true
+		sv := sig.NewSignedValue(a.cfg.Signer, a.committed)
+		payload := encodeTagged(tagActiveValue, sv)
+		for _, set := range a.l.sets {
+			if err := protocol.Send(ctx, set[0], payload, sv.Chain); err != nil {
+				return err
+			}
+		}
+	case phase == t+2*a.l.s+3:
+		// Final phase: cover members whose signature the root's report is
+		// missing (or whose root never reported / reported a wrong value).
+		reports := make(map[int]sig.SignedValue)
+		for _, env := range inbox {
+			setIdx, memberIdx, okLoc := a.l.locate(env.From)
+			if !okLoc || memberIdx != 0 {
+				continue
+			}
+			sv, ok := decodeTagged(env.Payload, tagReport)
+			if !ok {
+				continue
+			}
+			if _, dup := reports[setIdx]; !dup {
+				reports[setIdx] = sv
+			}
+		}
+		sv := sig.NewSignedValue(a.cfg.Signer, a.committed)
+		payload := encodeTagged(tagActiveValue, sv)
+		for setIdx, set := range a.l.sets {
+			covered := make(ident.Set)
+			members := ident.NewSet(set[1:]...)
+			if rep, ok := reports[setIdx]; ok && rep.Value == a.committed &&
+				rep.Chain.Verify(a.cfg.Verifier, sig.ValueBody(rep.Value)) == nil {
+				for _, signer := range rep.Chain.Signers() {
+					if members.Has(signer) {
+						covered.Add(signer)
+					}
+				}
+			}
+			for _, member := range set[1:] {
+				if covered.Has(member) {
+					continue
+				}
+				if err := protocol.Send(ctx, member, payload, sv.Chain); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (a *activeNode) Decide() (ident.Value, bool) { return a.inner.Decide() }
+
+// ---------------------------------------------------------------------------
+// Root node
+
+type rootNode struct {
+	cfg    protocol.NodeConfig
+	l      layout
+	setIdx int
+
+	m       sig.SignedValue // current m(j)
+	haveM   bool
+	pending int // index of the member we are waiting on (1-based member idx)
+}
+
+var _ sim.Node = (*rootNode)(nil)
+
+func (r *rootNode) set() []ident.ProcID { return r.l.sets[r.setIdx] }
+
+func (r *rootNode) Step(ctx *sim.Context, inbox []sim.Envelope) error {
+	t, s := r.cfg.T, r.l.s
+	phase := ctx.Phase()
+	switch {
+	case phase == t+4:
+		// Collect active values sent at t+3; adopt the value received from
+		// ≥ t+1 distinct active processors.
+		votes := make(map[ident.Value]ident.Set)
+		for _, env := range inbox {
+			if int(env.From) >= 2*t+1 {
+				continue
+			}
+			sv, ok := decodeTagged(env.Payload, tagActiveValue)
+			if !ok || len(sv.Chain) != 1 || sv.Chain[0].Signer != env.From {
+				continue
+			}
+			if sv.Verify(r.cfg.Verifier) != nil {
+				continue
+			}
+			if votes[sv.Value] == nil {
+				votes[sv.Value] = make(ident.Set)
+			}
+			votes[sv.Value].Add(env.From)
+		}
+		for v, who := range votes {
+			if who.Len() >= t+1 {
+				r.m = sig.SignedValue{Value: v}
+				r.haveM = true
+				break
+			}
+		}
+	case phase > t+4 && phase <= t+2*s+2 && (phase-t)%2 == 0:
+		// Phase t+2j+2: process c(j)'s reply (sent during t+2j+1).
+		if r.haveM && r.pending > 0 {
+			expect := r.set()[r.pending]
+			for _, env := range inbox {
+				if env.From != expect {
+					continue
+				}
+				sv, ok := decodeTagged(env.Payload, tagChainUp)
+				if !ok || sv.Value != r.m.Value || len(sv.Chain) != len(r.m.Chain)+1 {
+					continue
+				}
+				if len(sv.Chain) == 0 || sv.Chain[len(sv.Chain)-1].Signer != expect {
+					continue
+				}
+				if sv.Chain.Verify(r.cfg.Verifier, sig.ValueBody(sv.Value)) != nil {
+					continue
+				}
+				r.m = sv
+				break
+			}
+			r.pending = 0
+		}
+	}
+
+	// Outgoing schedule. Phase t+2j sends m(j-1) to c(j) (member index
+	// j-1 in 0-based terms is set()[j-1]; c(1) is the root itself, so the
+	// walk visits set()[1..]).
+	if r.haveM {
+		switch {
+		case phase >= t+4 && phase <= t+2*s && phase%2 == t%2:
+			// phase = t+2j  =>  j = (phase-t)/2, target member c(j) for
+			// j = 2..s maps to set()[j-1].
+			j := (phase - t) / 2
+			if j >= 2 && j-1 < len(r.set()) {
+				target := r.set()[j-1]
+				payload := encodeTagged(tagChainDown, r.m)
+				if err := protocol.Send(ctx, target, payload, r.m.Chain); err != nil {
+					return err
+				}
+				r.pending = j - 1
+			}
+		case phase == t+2*s+2:
+			payload := encodeTagged(tagReport, r.m)
+			if err := protocol.SendToAll(ctx, r.l.actives, payload, r.m.Chain); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *rootNode) Decide() (ident.Value, bool) {
+	if r.haveM {
+		return r.m.Value, true
+	}
+	return ident.V0, true
+}
+
+// ---------------------------------------------------------------------------
+// Member node
+
+type memberNode struct {
+	cfg       protocol.NodeConfig
+	l         layout
+	setIdx    int
+	memberIdx int // 0-based position in the set; the paper's c(j) has j = memberIdx+1
+
+	fromRoot    ident.Value
+	haveRoot    bool
+	final       ident.Value
+	haveFinal   bool
+	replyQueued *sig.SignedValue
+}
+
+var _ sim.Node = (*memberNode)(nil)
+
+func (mn *memberNode) root() ident.ProcID { return mn.l.sets[mn.setIdx][0] }
+
+func (mn *memberNode) Step(ctx *sim.Context, inbox []sim.Envelope) error {
+	t, s := mn.cfg.T, mn.l.s
+	phase := ctx.Phase()
+	j := mn.memberIdx + 1 // paper index: we are c(j)
+
+	// Designated chain-down phase for c(j) is t+2j; the reply goes out at
+	// t+2j+1, i.e. we observe the root's message in the Step of phase
+	// t+2j+1 (it was sent during t+2j).
+	if phase == t+2*j+1 {
+		var got []sig.SignedValue
+		for _, env := range inbox {
+			if env.From != mn.root() {
+				continue
+			}
+			if sv, ok := decodeTagged(env.Payload, tagChainDown); ok {
+				got = append(got, sv)
+			}
+		}
+		// "Exactly one valid message from its root with possibly some
+		// signatures of c(2)..c(j-1) appended."
+		if len(got) == 1 && mn.validDown(got[0]) {
+			sv := got[0]
+			mn.fromRoot, mn.haveRoot = sv.Value, true
+			signed := sv.CoSign(mn.cfg.Signer)
+			payload := encodeTagged(tagChainUp, signed)
+			if err := protocol.Send(ctx, mn.root(), payload, signed.Chain); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Final catch-up: the last sending phase is t+2s+3, so its messages
+	// arrive at the delivery-only step t+2s+4.
+	if phase == t+2*s+4 {
+		votes := make(map[ident.Value]ident.Set)
+		for _, env := range inbox {
+			if int(env.From) >= 2*t+1 {
+				continue
+			}
+			sv, ok := decodeTagged(env.Payload, tagActiveValue)
+			if !ok || len(sv.Chain) != 1 || sv.Chain[0].Signer != env.From {
+				continue
+			}
+			if sv.Verify(mn.cfg.Verifier) != nil {
+				continue
+			}
+			if votes[sv.Value] == nil {
+				votes[sv.Value] = make(ident.Set)
+			}
+			votes[sv.Value].Add(env.From)
+		}
+		for v, who := range votes {
+			if who.Len() >= t+1 {
+				mn.final, mn.haveFinal = v, true
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// validDown checks a chain-down message: signatures only by our set's
+// members with positions strictly between the root and us, cryptographically
+// valid over the value.
+func (mn *memberNode) validDown(sv sig.SignedValue) bool {
+	set := mn.l.sets[mn.setIdx]
+	allowed := make(ident.Set)
+	for i := 1; i < mn.memberIdx; i++ {
+		allowed.Add(set[i])
+	}
+	for _, l := range sv.Chain {
+		if !allowed.Has(l.Signer) {
+			return false
+		}
+	}
+	if !sv.Chain.Distinct() {
+		return false
+	}
+	if len(sv.Chain) > 0 && sv.Chain.Verify(mn.cfg.Verifier, sig.ValueBody(sv.Value)) != nil {
+		return false
+	}
+	return true
+}
+
+func (mn *memberNode) Decide() (ident.Value, bool) {
+	if mn.haveFinal {
+		return mn.final, true
+	}
+	if mn.haveRoot {
+		return mn.fromRoot, true
+	}
+	return ident.V0, true
+}

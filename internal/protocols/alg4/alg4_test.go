@@ -1,0 +1,145 @@
+package alg4_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"byzex/internal/adversary"
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/protocols/alg4"
+	"byzex/internal/sig"
+)
+
+func runGrid(t *testing.T, n, tt int, adv adversary.Adversary, faulty ident.Set) *core.Result {
+	t.Helper()
+	res, err := core.Run(context.Background(), core.Config{
+		Protocol: alg4.Protocol{}, N: n, T: tt, Value: ident.V0,
+		Adversary: adv, FaultyOverride: faulty, Seed: 44,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCheckRequiresSquare(t *testing.T) {
+	p := alg4.Protocol{}
+	if err := p.Check(10, 1); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if err := p.Check(16, 2); err != nil {
+		t.Fatalf("16 rejected: %v", err)
+	}
+	if err := p.Check(16, 16); err == nil {
+		t.Fatal("t=n accepted")
+	}
+}
+
+func TestFaultFreeFullExchange(t *testing.T) {
+	for _, m := range []int{2, 3, 4, 6} {
+		n := m * m
+		res := runGrid(t, n, 0, nil, nil)
+		for i, nd := range res.Nodes {
+			out := nd.(alg4.Exchanger).Output()
+			if len(out) != n {
+				t.Fatalf("m=%d: node %d collected %d/%d values", m, i, len(out), n)
+			}
+			for q, sb := range out {
+				if !bytes.Equal(sb.Body, alg4.OwnValue(q)) {
+					t.Fatalf("m=%d: node %d has wrong value for %v", m, i, q)
+				}
+			}
+		}
+		if got, bound := res.Sim.Report.MessagesCorrect, core.Alg4MsgUpperBound(m); got > bound {
+			t.Fatalf("m=%d: %d msgs > %d", m, got, bound)
+		}
+	}
+}
+
+func TestMessageCountExact(t *testing.T) {
+	// Fault-free: every processor sends m-1 messages in each of 3 phases.
+	for _, m := range []int{3, 4, 5} {
+		n := m * m
+		res := runGrid(t, n, 0, nil, nil)
+		want := 3 * (m - 1) * n
+		if got := res.Sim.Report.MessagesCorrect; got != want {
+			t.Fatalf("m=%d: %d msgs, want %d", m, got, want)
+		}
+	}
+}
+
+func TestLemma2GuaranteeUnderFaults(t *testing.T) {
+	// Corrupt t processors concentrated in few rows; processors in rows
+	// with < m/2 faults must still mutually exchange.
+	m := 4
+	n := m * m
+	tt := 3
+	faulty := ident.NewSet(0, 1, 5) // row 0 has 2 faults (≥ m/2), row 1 has 1
+	res := runGrid(t, n, tt, adversary.Silent{}, faulty)
+
+	var pSet []ident.ProcID
+	for i := 0; i < n; i++ {
+		id := ident.ProcID(i)
+		if faulty.Has(id) {
+			continue
+		}
+		row := i / m
+		rowFaults := 0
+		for c := 0; c < m; c++ {
+			if faulty.Has(ident.ProcID(row*m + c)) {
+				rowFaults++
+			}
+		}
+		if 2*rowFaults < m {
+			pSet = append(pSet, id)
+		}
+	}
+	if len(pSet) < n-2*tt {
+		t.Fatalf("candidate P too small: %d < %d", len(pSet), n-2*tt)
+	}
+	for _, p := range pSet {
+		out := res.Nodes[p].(alg4.Exchanger).Output()
+		for _, q := range pSet {
+			if _, ok := out[q]; !ok {
+				t.Fatalf("processor %v missing value of %v", p, q)
+			}
+		}
+	}
+}
+
+func TestGarbageToleration(t *testing.T) {
+	// Garbage from faulty processors must not corrupt collected values.
+	m := 4
+	n := m * m
+	res := runGrid(t, n, 2, adversary.Garbage{PerPhase: 8}, nil)
+	for i, nd := range res.Nodes {
+		if res.Faulty.Has(ident.ProcID(i)) {
+			continue
+		}
+		out := nd.(alg4.Exchanger).Output()
+		for q, sb := range out {
+			if res.Faulty.Has(q) {
+				continue
+			}
+			if !bytes.Equal(sb.Body, alg4.OwnValue(q)) {
+				t.Fatalf("node %d holds forged value for %v", i, q)
+			}
+		}
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	scheme := sig.NewHMAC(4, 1)
+	s0, _ := scheme.Signer(0)
+	if _, err := alg4.NewGroup(ident.Range(3), 0, nil, s0, scheme); err == nil {
+		t.Fatal("non-square group accepted")
+	}
+	if _, err := alg4.NewGroup(ident.Range(4), 9, nil, s0, scheme); err == nil {
+		t.Fatal("outsider accepted")
+	}
+	if _, err := alg4.NewGroup([]ident.ProcID{0, 0, 1, 2}, 0, nil, s0, scheme); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}

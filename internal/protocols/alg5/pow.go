@@ -1,0 +1,123 @@
+package alg5
+
+import (
+	"byzex/internal/ident"
+	"byzex/internal/sig"
+	"byzex/internal/tree"
+)
+
+// piTable aggregates the π(M, q, x) counts of the paper: for each passive
+// processor q, the set of distinct active processors whose verified string
+// with index x lists q.
+type piTable struct {
+	index   int
+	byProc  map[ident.ProcID]ident.Set
+	sources []sig.SignedBytes // the verified strings, for forwarding
+}
+
+// buildPiTable verifies and aggregates strings for the given index. Strings
+// must carry exactly one signature by an active processor and decode to
+// [index, procs]; everything else is ignored.
+func (ly *layout) buildPiTable(strings []sig.SignedBytes, index int, verifier sig.Verifier) *piTable {
+	tbl := &piTable{index: index, byProc: make(map[ident.ProcID]ident.Set)}
+	seen := make(ident.Set) // one string per signer
+	for _, sb := range strings {
+		if len(sb.Chain) != 1 {
+			continue
+		}
+		signer := sb.Chain[0].Signer
+		if !ly.isActive(signer) || !seen.Add(signer) {
+			continue
+		}
+		idx, procs, err := parseStringBody(sb.Body)
+		if err != nil || idx != index {
+			seen.Remove(signer)
+			continue
+		}
+		if sb.Verify(verifier) != nil {
+			seen.Remove(signer)
+			continue
+		}
+		tbl.sources = append(tbl.sources, sb)
+		for _, q := range procs {
+			if tbl.byProc[q] == nil {
+				tbl.byProc[q] = make(ident.Set)
+			}
+			tbl.byProc[q].Add(signer)
+		}
+	}
+	return tbl
+}
+
+// pi returns π(M, q, index): the number of distinct active endorsers of q.
+func (tbl *piTable) pi(q ident.ProcID) int { return tbl.byProc[q].Len() }
+
+// anyAtLeast reports whether any of the given processors reaches the
+// threshold.
+func (tbl *piTable) anyAtLeast(procs []ident.ProcID, thr int) bool {
+	for _, q := range procs {
+		if tbl.pi(q) >= thr {
+			return true
+		}
+	}
+	return false
+}
+
+// hasProofOfWork evaluates the paper's proof-of-work predicate for the
+// depth-x subtree rooted at ref, against the π counts for index x:
+//
+//	(i)  x = λ: trivially satisfied (every tree is processed in block λ);
+//	(ii) x < λ: π(root) ≥ α−2t, or both child subtrees contain a processor
+//	     reaching the threshold.
+func (ly *layout) hasProofOfWork(tbl *piTable, ref tree.Ref, x int) bool {
+	if x == ly.lambda {
+		return true
+	}
+	thr := ly.threshold()
+	root := ly.forest.At(ref)
+	if tbl.pi(root) >= thr {
+		return true
+	}
+	tr := ly.forest.Trees[ref.Tree]
+	kids := tr.Children(ref.Pos)
+	if len(kids) < 2 {
+		return false
+	}
+	for _, kid := range kids {
+		members := ly.forest.SubtreeMembers(tree.Ref{Tree: ref.Tree, Pos: kid})
+		if !tbl.anyAtLeast(members, thr) {
+			return false
+		}
+	}
+	return true
+}
+
+// powStringsFor selects, from the verified strings, those relevant to the
+// given subtree (mentioning the root or any member), which is what an
+// active processor attaches to an activation message.
+func (ly *layout) powStringsFor(tbl *piTable, ref tree.Ref) []sig.SignedBytes {
+	members := ident.NewSet(ly.forest.SubtreeMembers(ref)...)
+	var out []sig.SignedBytes
+	for _, sb := range tbl.sources {
+		_, procs, err := parseStringBody(sb.Body)
+		if err != nil {
+			continue
+		}
+		for _, q := range procs {
+			if members.Has(q) {
+				out = append(out, sb)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// blockRootIDs returns the processors acting as roots in block x.
+func (ly *layout) blockRootIDs(x int) ident.Set {
+	out := make(ident.Set)
+	for _, ref := range ly.forest.RootsOfDepth(x) {
+		out.Add(ly.forest.At(ref))
+	}
+	return out
+}

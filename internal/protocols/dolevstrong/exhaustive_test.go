@@ -1,0 +1,65 @@
+package dolevstrong_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"byzex/internal/adversary"
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/protocols/dolevstrong"
+)
+
+// TestExhaustiveFaultySubsets enumerates every faulty subset of size ≤ t in
+// a small system, under both the silent and the split-brain-capable
+// adversary, with both values. Dolev-Strong must satisfy agreement (and
+// validity when the transmitter is correct) in every single combination.
+func TestExhaustiveFaultySubsets(t *testing.T) {
+	const n, tt = 5, 2
+	for mask := 0; mask < (1 << n); mask++ {
+		faulty := make(ident.Set)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				faulty.Add(ident.ProcID(i))
+			}
+		}
+		if faulty.Len() > tt {
+			continue
+		}
+		advs := []adversary.Adversary{adversary.Silent{}}
+		if faulty.Has(0) {
+			advs = append(advs, adversary.SplitBrain{LowValue: ident.V0, HighValue: ident.V1, SplitAt: n / 2})
+		}
+		for _, adv := range advs {
+			for _, v := range []ident.Value{ident.V0, ident.V1} {
+				res, err := core.Run(context.Background(), core.Config{
+					Protocol: dolevstrong.Protocol{}, N: n, T: tt, Value: v,
+					Adversary: adv, FaultyOverride: faulty, Seed: int64(mask),
+				})
+				if err != nil {
+					t.Fatalf("mask=%b adv=%s v=%v: %v", mask, adv.Name(), v, err)
+				}
+				label := fmt.Sprintf("mask=%b adv=%s v=%v", mask, adv.Name(), v)
+				var first ident.Value
+				seen := false
+				for id, d := range res.Sim.Decisions {
+					if res.Faulty.Has(id) {
+						continue
+					}
+					if !d.Decided {
+						t.Fatalf("%s: %v undecided", label, id)
+					}
+					if !seen {
+						first, seen = d.Value, true
+					} else if d.Value != first {
+						t.Fatalf("%s: disagreement", label)
+					}
+				}
+				if !faulty.Has(0) && first != v {
+					t.Fatalf("%s: validity violated", label)
+				}
+			}
+		}
+	}
+}

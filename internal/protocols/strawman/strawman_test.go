@@ -1,0 +1,68 @@
+package strawman_test
+
+import (
+	"context"
+	"testing"
+
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/protocols/strawman"
+)
+
+// The strawmen are deliberately incorrect under Byzantine faults, but they
+// must behave sanely on fault-free runs (that is what makes them useful
+// attack targets: they look fine until the lower-bound adversary shows up).
+
+func TestBroadcastFaultFree(t *testing.T) {
+	for _, v := range []ident.Value{ident.V0, ident.V1} {
+		res, got, err := core.RunAndCheck(context.Background(), core.Config{
+			Protocol: strawman.Broadcast{}, N: 8, T: 2, Value: v,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("decided %v, want %v", got, v)
+		}
+		// Exactly n-1 messages and n-1 signatures — far below n(t+1)/4 for
+		// larger t, which is the whole point.
+		if res.Sim.Report.MessagesCorrect != 7 {
+			t.Fatalf("messages %d, want 7", res.Sim.Report.MessagesCorrect)
+		}
+		if res.Sim.Report.SignaturesCorrect != 7 {
+			t.Fatalf("signatures %d, want 7", res.Sim.Report.SignaturesCorrect)
+		}
+	}
+}
+
+func TestThinRelayFaultFree(t *testing.T) {
+	for _, v := range []ident.Value{ident.V0, ident.V1} {
+		_, got, err := core.RunAndCheck(context.Background(), core.Config{
+			Protocol: strawman.ThinRelay{RelayWidth: 2}, N: 10, T: 3, Value: v,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("decided %v, want %v", got, v)
+		}
+	}
+}
+
+func TestThinRelayCheck(t *testing.T) {
+	if err := (strawman.ThinRelay{RelayWidth: 0}).Check(5, 1); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if err := (strawman.ThinRelay{RelayWidth: 9}).Check(10, 1); err == nil {
+		t.Fatal("width n-1 accepted")
+	}
+}
+
+func TestBroadcastCheck(t *testing.T) {
+	if err := (strawman.Broadcast{}).Check(1, 0); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if err := (strawman.Broadcast{}).Check(2, 0); err != nil {
+		t.Fatal(err)
+	}
+}

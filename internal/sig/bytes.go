@@ -1,0 +1,61 @@
+package sig
+
+import "byzex/internal/wire"
+
+// SignedBytes is an arbitrary byte-string body carrying a signature chain.
+// Algorithm 4 exchanges signed strings (not agreement values), and
+// Algorithm 5's "strings" are signed [index, processor list] bodies, so the
+// chain machinery must work over raw bodies as well as values.
+type SignedBytes struct {
+	Body  []byte
+	Chain Chain
+}
+
+// NewSignedBytes signs body as the first link of a fresh chain.
+func NewSignedBytes(s Signer, body []byte) SignedBytes {
+	return SignedBytes{Body: body, Chain: Append(s, body, nil)}
+}
+
+// CoSign returns a copy with s's signature appended.
+func (sb SignedBytes) CoSign(s Signer) SignedBytes {
+	return SignedBytes{Body: sb.Body, Chain: Append(s, sb.Body, sb.Chain)}
+}
+
+// Verify checks the chain cryptographically and that it is non-empty.
+func (sb SignedBytes) Verify(v Verifier) error {
+	if len(sb.Chain) == 0 {
+		return ErrEmptyChain
+	}
+	return sb.Chain.Verify(v, sb.Body)
+}
+
+// Encode appends the canonical encoding to w.
+func (sb SignedBytes) Encode(w *wire.Writer) {
+	w.BytesField(sb.Body)
+	sb.Chain.Encode(w)
+}
+
+// DecodeSignedBytes reads a SignedBytes previously written with Encode. The
+// body is copied out of the reader's buffer.
+func DecodeSignedBytes(r *wire.Reader) SignedBytes {
+	body := append([]byte(nil), r.BytesField()...)
+	c := DecodeChain(r)
+	return SignedBytes{Body: body, Chain: c}
+}
+
+// Marshal returns the standalone canonical encoding.
+func (sb SignedBytes) Marshal() []byte {
+	w := wire.NewWriter(16 + len(sb.Body) + len(sb.Chain)*48)
+	sb.Encode(w)
+	return w.Bytes()
+}
+
+// UnmarshalSignedBytes decodes a standalone encoding produced by Marshal.
+func UnmarshalSignedBytes(b []byte) (SignedBytes, error) {
+	r := wire.NewReader(b)
+	sb := DecodeSignedBytes(r)
+	if err := r.Finish(); err != nil {
+		return SignedBytes{}, err
+	}
+	return sb, nil
+}

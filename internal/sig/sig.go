@@ -1,0 +1,268 @@
+// Package sig implements the authentication substrate assumed by the paper:
+// a signature scheme in which every processor can sign its messages so that
+// every receiver recognizes the signature, nobody can undetectably alter a
+// signed message, and faulty processors may collude (pool their keys) but
+// can never produce a signature of a correct processor.
+//
+// Three schemes are provided behind a common interface:
+//
+//   - HMAC: per-processor secret keys under a trusted registry, signatures
+//     are HMAC-SHA256 tags. Fast; the default for simulations.
+//   - Ed25519: real public-key signatures from crypto/ed25519, demonstrating
+//     the system over an actual asymmetric scheme (the paper cites
+//     Diffie-Hellman and RSA for this role).
+//   - Plain: the unauthenticated model of Corollary 1 — every message
+//     carries exactly the identity of its immediate sender and nothing can
+//     be forwarded verifiably. Signing is free; verification only checks
+//     the claimed sender tag.
+//
+// Unforgeability in the simulation is enforced structurally: the engine
+// hands each node only its own Signer, and hands the adversary the Signers
+// of the corrupted processors. Byzantine code can emit arbitrary bytes, but
+// Verify rejects anything not produced through a Signer.
+package sig
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand"
+
+	"byzex/internal/ident"
+)
+
+// Errors returned by chain and scheme validation.
+var (
+	// ErrBadSignature indicates a signature failed verification.
+	ErrBadSignature = errors.New("sig: signature verification failed")
+	// ErrUnknownSigner indicates a signer identity outside the registry.
+	ErrUnknownSigner = errors.New("sig: unknown signer")
+)
+
+// Signer produces signatures for exactly one processor identity.
+type Signer interface {
+	// ID returns the identity this signer signs for.
+	ID() ident.ProcID
+	// Sign returns a signature over msg.
+	Sign(msg []byte) []byte
+}
+
+// Verifier checks signatures against claimed signer identities.
+type Verifier interface {
+	// Verify reports whether sigBytes is a valid signature by id over msg.
+	Verify(id ident.ProcID, msg, sigBytes []byte) bool
+}
+
+// Scheme is a complete signature scheme for a fixed population of
+// processors: it can mint per-processor signers and verify any signature.
+type Scheme interface {
+	Verifier
+	// Name identifies the scheme in reports ("hmac", "ed25519", "plain").
+	Name() string
+	// N returns the population size the scheme was instantiated for.
+	N() int
+	// Signer returns the signing handle for id.
+	Signer(id ident.ProcID) (Signer, error)
+	// SigLen returns the byte length of signatures (0 if variable).
+	SigLen() int
+}
+
+// ---------------------------------------------------------------------------
+// HMAC scheme
+
+// HMACScheme signs with per-processor secret keys under a trusted registry.
+// Verification recomputes the tag using the registry's copy of the key, so
+// only code holding a Signer (i.e. the processor itself, or the adversary
+// for corrupted processors) can produce valid signatures.
+type HMACScheme struct {
+	keys [][]byte
+}
+
+var _ Scheme = (*HMACScheme)(nil)
+
+// NewHMAC creates an HMAC scheme for n processors. The seed makes key
+// generation deterministic for reproducible runs; distinct seeds yield
+// independent key sets.
+func NewHMAC(n int, seed int64) *HMACScheme {
+	rng := mrand.New(mrand.NewSource(seed))
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := make([]byte, 32)
+		// math/rand Read never fails.
+		_, _ = rng.Read(k)
+		keys[i] = k
+	}
+	return &HMACScheme{keys: keys}
+}
+
+// Name implements Scheme.
+func (s *HMACScheme) Name() string { return "hmac" }
+
+// N implements Scheme.
+func (s *HMACScheme) N() int { return len(s.keys) }
+
+// SigLen implements Scheme.
+func (s *HMACScheme) SigLen() int { return sha256.Size }
+
+// Signer implements Scheme.
+func (s *HMACScheme) Signer(id ident.ProcID) (Signer, error) {
+	if int(id) < 0 || int(id) >= len(s.keys) {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownSigner, id)
+	}
+	return &hmacSigner{id: id, key: s.keys[id]}, nil
+}
+
+// Verify implements Verifier.
+func (s *HMACScheme) Verify(id ident.ProcID, msg, sigBytes []byte) bool {
+	if int(id) < 0 || int(id) >= len(s.keys) {
+		return false
+	}
+	return hmac.Equal(hmacTag(s.keys[id], id, msg), sigBytes)
+}
+
+type hmacSigner struct {
+	id  ident.ProcID
+	key []byte
+}
+
+func (h *hmacSigner) ID() ident.ProcID { return h.id }
+
+func (h *hmacSigner) Sign(msg []byte) []byte { return hmacTag(h.key, h.id, msg) }
+
+// hmacTag binds the tag to the signer identity so that two processors that
+// somehow shared a key still could not pass each other's signatures off.
+func hmacTag(key []byte, id ident.ProcID, msg []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	var idb [4]byte
+	binary.BigEndian.PutUint32(idb[:], uint32(id))
+	mac.Write(idb[:])
+	mac.Write(msg)
+	return mac.Sum(nil)
+}
+
+// ---------------------------------------------------------------------------
+// Ed25519 scheme
+
+// Ed25519Scheme signs with real public-key signatures. Private keys are held
+// by the signers; the scheme retains only public keys for verification.
+type Ed25519Scheme struct {
+	pub  []ed25519.PublicKey
+	priv []ed25519.PrivateKey
+}
+
+var _ Scheme = (*Ed25519Scheme)(nil)
+
+// NewEd25519 creates an Ed25519 scheme for n processors using rand as the
+// entropy source (pass nil for crypto/rand).
+func NewEd25519(n int, rand io.Reader) (*Ed25519Scheme, error) {
+	s := &Ed25519Scheme{
+		pub:  make([]ed25519.PublicKey, n),
+		priv: make([]ed25519.PrivateKey, n),
+	}
+	for i := 0; i < n; i++ {
+		pub, priv, err := ed25519.GenerateKey(rand)
+		if err != nil {
+			return nil, fmt.Errorf("sig: generating ed25519 key %d: %w", i, err)
+		}
+		s.pub[i], s.priv[i] = pub, priv
+	}
+	return s, nil
+}
+
+// Name implements Scheme.
+func (s *Ed25519Scheme) Name() string { return "ed25519" }
+
+// N implements Scheme.
+func (s *Ed25519Scheme) N() int { return len(s.pub) }
+
+// SigLen implements Scheme.
+func (s *Ed25519Scheme) SigLen() int { return ed25519.SignatureSize }
+
+// Signer implements Scheme.
+func (s *Ed25519Scheme) Signer(id ident.ProcID) (Signer, error) {
+	if int(id) < 0 || int(id) >= len(s.priv) {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownSigner, id)
+	}
+	return &edSigner{id: id, key: s.priv[id]}, nil
+}
+
+// Verify implements Verifier.
+func (s *Ed25519Scheme) Verify(id ident.ProcID, msg, sigBytes []byte) bool {
+	if int(id) < 0 || int(id) >= len(s.pub) {
+		return false
+	}
+	if len(sigBytes) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(s.pub[id], msg, sigBytes)
+}
+
+type edSigner struct {
+	id  ident.ProcID
+	key ed25519.PrivateKey
+}
+
+func (e *edSigner) ID() ident.ProcID { return e.id }
+
+func (e *edSigner) Sign(msg []byte) []byte { return ed25519.Sign(e.key, msg) }
+
+// ---------------------------------------------------------------------------
+// Plain (unauthenticated) scheme
+
+// PlainScheme models the unauthenticated setting of Corollary 1: a
+// "signature" is just the sender's identity tag. Any processor can fabricate
+// any other processor's tag, so forwarded information is never verifiable —
+// a receiver can only trust the identity of the immediate sender, which the
+// transport guarantees independently. Protocols that require unforgeable
+// chains must not be run under this scheme; it exists so the unauthenticated
+// baselines pay the same bookkeeping costs.
+type PlainScheme struct {
+	n int
+}
+
+var _ Scheme = (*PlainScheme)(nil)
+
+// NewPlain creates a plain scheme for n processors.
+func NewPlain(n int) *PlainScheme { return &PlainScheme{n: n} }
+
+// Name implements Scheme.
+func (s *PlainScheme) Name() string { return "plain" }
+
+// N implements Scheme.
+func (s *PlainScheme) N() int { return s.n }
+
+// SigLen implements Scheme.
+func (s *PlainScheme) SigLen() int { return 4 }
+
+// Signer implements Scheme.
+func (s *PlainScheme) Signer(id ident.ProcID) (Signer, error) {
+	if int(id) < 0 || int(id) >= s.n {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownSigner, id)
+	}
+	return plainSigner{id: id}, nil
+}
+
+// Verify implements Verifier. It accepts any correctly formatted tag for id:
+// plain tags are forgeable by construction.
+func (s *PlainScheme) Verify(id ident.ProcID, _ []byte, sigBytes []byte) bool {
+	if int(id) < 0 || int(id) >= s.n {
+		return false
+	}
+	return len(sigBytes) == 4 && binary.BigEndian.Uint32(sigBytes) == uint32(id)
+}
+
+type plainSigner struct {
+	id ident.ProcID
+}
+
+func (p plainSigner) ID() ident.ProcID { return p.id }
+
+func (p plainSigner) Sign(_ []byte) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(p.id))
+	return b[:]
+}

@@ -1,0 +1,263 @@
+package sig_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"byzex/internal/ident"
+	"byzex/internal/sig"
+)
+
+func schemes(t *testing.T, n int) map[string]sig.Scheme {
+	t.Helper()
+	ed, err := sig.NewEd25519(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]sig.Scheme{
+		"hmac":    sig.NewHMAC(n, 7),
+		"ed25519": ed,
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	for name, s := range schemes(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			signer, err := s.Signer(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := []byte("message")
+			tag := signer.Sign(msg)
+			if !s.Verify(1, msg, tag) {
+				t.Fatal("genuine signature rejected")
+			}
+			if s.Verify(2, msg, tag) {
+				t.Fatal("signature accepted for wrong signer")
+			}
+			if s.Verify(1, []byte("other"), tag) {
+				t.Fatal("signature accepted for wrong message")
+			}
+			tampered := append([]byte(nil), tag...)
+			tampered[0] ^= 1
+			if s.Verify(1, msg, tampered) {
+				t.Fatal("tampered signature accepted")
+			}
+			if s.Verify(1, msg, nil) {
+				t.Fatal("empty signature accepted")
+			}
+		})
+	}
+}
+
+func TestSignerOutOfRange(t *testing.T) {
+	for name, s := range schemes(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Signer(3); err == nil {
+				t.Fatal("out-of-range signer granted")
+			}
+			if _, err := s.Signer(-1); err == nil {
+				t.Fatal("negative signer granted")
+			}
+			if s.Verify(99, []byte("m"), []byte("sig")) {
+				t.Fatal("out-of-range verify accepted")
+			}
+		})
+	}
+}
+
+func TestHMACDeterministicPerSeed(t *testing.T) {
+	a, b := sig.NewHMAC(3, 1), sig.NewHMAC(3, 1)
+	sa, _ := a.Signer(0)
+	sb, _ := b.Signer(0)
+	if !bytes.Equal(sa.Sign([]byte("x")), sb.Sign([]byte("x"))) {
+		t.Fatal("same seed produced different keys")
+	}
+	c := sig.NewHMAC(3, 2)
+	sc, _ := c.Signer(0)
+	if bytes.Equal(sa.Sign([]byte("x")), sc.Sign([]byte("x"))) {
+		t.Fatal("different seeds produced identical keys")
+	}
+}
+
+func TestPlainSchemeIsForgeable(t *testing.T) {
+	// The unauthenticated model: any processor can fabricate any tag.
+	s := sig.NewPlain(4)
+	signer, err := s.Signer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := signer.Sign([]byte("whatever"))
+	if !s.Verify(2, []byte("anything-else"), tag) {
+		t.Fatal("plain tag should verify for any message")
+	}
+	// Forged tag for another identity verifies too — by design.
+	forged := []byte{0, 0, 0, 3}
+	if !s.Verify(3, nil, forged) {
+		t.Fatal("plain tags must be forgeable")
+	}
+	if s.Verify(2, nil, forged) {
+		t.Fatal("tag for id 3 accepted for id 2")
+	}
+}
+
+func TestChainAppendVerify(t *testing.T) {
+	for name, s := range schemes(t, 5) {
+		t.Run(name, func(t *testing.T) {
+			body := []byte("chain body")
+			var c sig.Chain
+			for i := 0; i < 5; i++ {
+				signer, _ := s.Signer(ident.ProcID(i))
+				c = sig.Append(signer, body, c)
+			}
+			if err := c.Verify(s, body); err != nil {
+				t.Fatalf("genuine chain rejected: %v", err)
+			}
+			if err := c.Verify(s, []byte("other body")); err == nil {
+				t.Fatal("chain accepted for wrong body")
+			}
+			if !c.Distinct() {
+				t.Fatal("distinct chain reported duplicate")
+			}
+			if c.DistinctCount() != 5 {
+				t.Fatalf("distinct count %d != 5", c.DistinctCount())
+			}
+		})
+	}
+}
+
+func TestChainTruncationDetected(t *testing.T) {
+	s := sig.NewHMAC(4, 3)
+	body := []byte("body")
+	var c sig.Chain
+	for i := 0; i < 3; i++ {
+		signer, _ := s.Signer(ident.ProcID(i))
+		c = sig.Append(signer, body, c)
+	}
+	// Dropping a middle link breaks later signatures (they sign the
+	// prefix).
+	cut := append(sig.Chain{}, c[0], c[2])
+	if err := cut.Verify(s, body); err == nil {
+		t.Fatal("chain with removed middle link accepted")
+	}
+	// Reordering breaks it too.
+	swapped := append(sig.Chain{}, c[1], c[0], c[2])
+	if err := swapped.Verify(s, body); err == nil {
+		t.Fatal("reordered chain accepted")
+	}
+}
+
+func TestChainLinkReuseAcrossPrefixesRejected(t *testing.T) {
+	// A signature produced over prefix P cannot be replayed on top of a
+	// different prefix P'.
+	s := sig.NewHMAC(4, 3)
+	body := []byte("body")
+	s0, _ := s.Signer(0)
+	s1, _ := s.Signer(1)
+	s2, _ := s.Signer(2)
+
+	c01 := sig.Append(s1, body, sig.Append(s0, body, nil))
+	c2 := sig.Append(s2, body, nil)
+	// Graft s1's link (signed over prefix [s0]) onto prefix [s2].
+	grafted := append(c2.Clone(), c01[1])
+	if err := grafted.Verify(s, body); err == nil {
+		t.Fatal("grafted link accepted under a different prefix")
+	}
+}
+
+func TestChainEncodeDecode(t *testing.T) {
+	s := sig.NewHMAC(6, 9)
+	s0, _ := s.Signer(0)
+	sv := sig.NewSignedValue(s0, ident.V1)
+	for i := 1; i < 4; i++ {
+		signer, _ := s.Signer(ident.ProcID(i))
+		sv = sv.CoSign(signer)
+	}
+	decoded, err := sig.UnmarshalSignedValue(sv.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Value != sv.Value || len(decoded.Chain) != len(sv.Chain) {
+		t.Fatal("round trip mismatch")
+	}
+	if err := decoded.Verify(s); err != nil {
+		t.Fatalf("decoded chain invalid: %v", err)
+	}
+}
+
+func TestSignedValueTamperDetected(t *testing.T) {
+	s := sig.NewHMAC(3, 1)
+	s0, _ := s.Signer(0)
+	sv := sig.NewSignedValue(s0, ident.V1)
+	bad := sv
+	bad.Value = ident.V0
+	if err := bad.Verify(s); err == nil {
+		t.Fatal("value swap accepted")
+	}
+}
+
+func TestSignedBytesRoundTrip(t *testing.T) {
+	s := sig.NewHMAC(3, 1)
+	s0, _ := s.Signer(0)
+	s1, _ := s.Signer(1)
+	sb := sig.NewSignedBytes(s0, []byte("payload")).CoSign(s1)
+	decoded, err := sig.UnmarshalSignedBytes(sb.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decoded.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(decoded.Body, []byte("payload")) {
+		t.Fatal("body mismatch")
+	}
+	if len(decoded.Chain) != 2 {
+		t.Fatal("chain length mismatch")
+	}
+}
+
+func TestEmptyChainRejected(t *testing.T) {
+	s := sig.NewHMAC(2, 1)
+	if err := (sig.SignedValue{Value: ident.V1}).Verify(s); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	if err := (sig.SignedBytes{Body: []byte("x")}).Verify(s); err == nil {
+		t.Fatal("empty bytes chain accepted")
+	}
+}
+
+func TestQuickChainRoundTripAndForgery(t *testing.T) {
+	scheme := sig.NewHMAC(8, 5)
+	f := func(body []byte, signerIdx []uint8, flip uint16) bool {
+		if len(body) == 0 || len(signerIdx) == 0 || len(signerIdx) > 8 {
+			return true
+		}
+		var c sig.Chain
+		for _, si := range signerIdx {
+			signer, err := scheme.Signer(ident.ProcID(int(si) % 8))
+			if err != nil {
+				return false
+			}
+			c = sig.Append(signer, body, c)
+		}
+		if c.Verify(scheme, body) != nil {
+			return false
+		}
+		// Round trip through the wire encoding.
+		sb := sig.SignedBytes{Body: body, Chain: c}
+		decoded, err := sig.UnmarshalSignedBytes(sb.Marshal())
+		if err != nil || decoded.Verify(scheme) != nil {
+			return false
+		}
+		// Any single bit flip in a signature must invalidate the chain.
+		link := int(flip) % len(c)
+		byteIdx := (int(flip) / len(c)) % len(c[link].Sig)
+		c[link].Sig[byteIdx] ^= 1
+		defer func() { c[link].Sig[byteIdx] ^= 1 }()
+		return c.Verify(scheme, body) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

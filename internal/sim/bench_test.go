@@ -1,0 +1,69 @@
+package sim_test
+
+import (
+	"context"
+	"testing"
+
+	"byzex/internal/ident"
+	"byzex/internal/sim"
+)
+
+// flooder broadcasts a fixed payload every phase — a throughput stress for
+// the engine's delivery path.
+type flooder struct {
+	id      ident.ProcID
+	payload []byte
+}
+
+func (f *flooder) Step(ctx *sim.Context, _ []sim.Envelope) error {
+	if ctx.Phase() > 1 {
+		return nil
+	}
+	for i := 0; i < ctx.N(); i++ {
+		to := ident.ProcID(i)
+		if to == f.id {
+			continue
+		}
+		if err := ctx.Send(to, f.payload, nil, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *flooder) Decide() (ident.Value, bool) { return 0, true }
+
+// BenchmarkEngineBroadcast measures raw engine throughput: n² messages per
+// run across one phase.
+func BenchmarkEngineBroadcast(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(benchName(n), func(b *testing.B) {
+			payload := make([]byte, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nodes := make([]sim.Node, n)
+				for j := range nodes {
+					nodes[j] = &flooder{id: ident.ProcID(j), payload: payload}
+				}
+				eng, err := sim.New(sim.Config{N: n, Phases: 1}, nodes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n*(n-1)), "msgs/run")
+		})
+	}
+}
+
+func benchName(n int) string {
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return "n=" + string(digits)
+}

@@ -1,0 +1,371 @@
+// Package sim implements the synchronous message-passing model of Section 2
+// of the paper: n completely interconnected processors proceed in lock-step
+// phases; during phase k a processor sends messages that are delivered at
+// the start of phase k+1; a receiver always knows the immediate source of a
+// message ("no processor can send a message to p claiming to be somebody
+// else"); and at the beginning of phase k the individual subhistory built
+// from the first k-1 phases is all a processor has to work with.
+//
+// The engine is single-threaded and deterministic: nodes are stepped in
+// identity order and inboxes are sorted by sender. Byzantine processors are
+// simply Node implementations supplied by the adversary; the engine treats
+// them identically and only the metrics layer distinguishes correct from
+// faulty senders.
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"byzex/internal/ident"
+	"byzex/internal/metrics"
+)
+
+// Errors returned by the engine and the send path.
+var (
+	// ErrSendClosed indicates a send after the protocol's last phase.
+	ErrSendClosed = errors.New("sim: send after final phase")
+	// ErrBadRecipient indicates a send to an out-of-range or self identity.
+	ErrBadRecipient = errors.New("sim: bad recipient")
+)
+
+// Envelope is one message in flight. Payload is the protocol-level encoding;
+// Signers and SigTotal describe the signatures the payload carries so the
+// engine and observers can account for them without parsing protocol bytes.
+type Envelope struct {
+	From  ident.ProcID
+	To    ident.ProcID
+	Phase int // phase during which the message was sent
+
+	Payload []byte
+
+	// Signers lists the distinct processor identities whose signatures
+	// appear anywhere in the payload. It is reported by the sending code;
+	// for correct nodes it is trustworthy by construction, and the
+	// lower-bound machinery (computation of the sets A(p) of Theorem 1)
+	// relies on it.
+	Signers []ident.ProcID
+
+	// SigTotal counts signature links with multiplicity, the quantity
+	// bounded by Theorem 1.
+	SigTotal int
+}
+
+// Clone returns a copy of the envelope that shares no mutable state with
+// the original.
+func (e Envelope) Clone() Envelope {
+	out := e
+	out.Payload = append([]byte(nil), e.Payload...)
+	out.Signers = append([]ident.ProcID(nil), e.Signers...)
+	return out
+}
+
+// Node is a processor's protocol state machine. Implementations are built by
+// protocol factories (package protocol) or by adversaries (package
+// adversary).
+type Node interface {
+	// Step is invoked once per phase in increasing order. inbox contains
+	// the messages sent to this node during the previous phase, sorted by
+	// sender. Outgoing messages are submitted through ctx.Send; they will
+	// be delivered at the start of the next phase. The final invocation
+	// (one past the protocol's last phase) is delivery-only: Send fails.
+	Step(ctx *Context, inbox []Envelope) error
+
+	// Decide returns the node's decision after the run. ok is false if the
+	// node has not decided (a correctness violation for correct nodes once
+	// the protocol completed).
+	Decide() (ident.Value, bool)
+}
+
+// Context gives a node its identity, the system parameters, and the send
+// path for the current phase. A Context is only valid for the duration of
+// the Step call it is passed to.
+type Context struct {
+	id          ident.ProcID
+	n, t        int
+	transmitter ident.ProcID
+	phase       int
+	lastPhase   int
+	submit      func(Envelope)
+	filter      func(ident.ProcID) bool
+}
+
+// NewContext builds a context for an external transport (e.g. the TCP
+// cluster): submit receives every accepted envelope. The in-memory engine
+// builds its contexts internally; most callers never need this.
+func NewContext(id ident.ProcID, n, t int, transmitter ident.ProcID, phase, lastPhase int, submit func(Envelope)) *Context {
+	return &Context{
+		id:          id,
+		n:           n,
+		t:           t,
+		transmitter: transmitter,
+		phase:       phase,
+		lastPhase:   lastPhase,
+		submit:      submit,
+	}
+}
+
+// WithSendFilter derives a context whose Send silently drops messages to
+// recipients for which allow returns false. Adversary wrappers use this to
+// model a Byzantine processor that runs correct protocol logic but withholds
+// messages from part of the system (the proofs of Theorems 1 and 2 both
+// need exactly this power).
+func (c *Context) WithSendFilter(allow func(ident.ProcID) bool) *Context {
+	clone := *c
+	prev := c.filter
+	clone.filter = func(to ident.ProcID) bool {
+		if prev != nil && !prev(to) {
+			return false
+		}
+		return allow(to)
+	}
+	return &clone
+}
+
+// ID returns the identity of the node being stepped.
+func (c *Context) ID() ident.ProcID { return c.id }
+
+// N returns the number of processors.
+func (c *Context) N() int { return c.n }
+
+// T returns the fault tolerance parameter the protocol was configured for.
+func (c *Context) T() int { return c.t }
+
+// Transmitter returns the identity of the transmitter.
+func (c *Context) Transmitter() ident.ProcID { return c.transmitter }
+
+// Phase returns the current phase number (1-based).
+func (c *Context) Phase() int { return c.phase }
+
+// Send queues a message to `to` for delivery at the start of the next
+// phase. Signers/sigTotal describe signatures carried by payload (see
+// Envelope). Send fails after the protocol's final phase or for an invalid
+// recipient.
+func (c *Context) Send(to ident.ProcID, payload []byte, signers []ident.ProcID, sigTotal int) error {
+	if c.phase > c.lastPhase {
+		return fmt.Errorf("%w: phase %d > %d", ErrSendClosed, c.phase, c.lastPhase)
+	}
+	if int(to) < 0 || int(to) >= c.n || to == c.id {
+		return fmt.Errorf("%w: %v -> %v", ErrBadRecipient, c.id, to)
+	}
+	if c.filter != nil && !c.filter(to) {
+		return nil
+	}
+	c.submit(Envelope{
+		From:     c.id,
+		To:       to,
+		Phase:    c.phase,
+		Payload:  payload,
+		Signers:  signers,
+		SigTotal: sigTotal,
+	})
+	return nil
+}
+
+// Observer is notified of every message accepted by the engine, in
+// submission order. The history recorder implements it.
+type Observer interface {
+	OnSend(e Envelope)
+}
+
+// Config parameterizes an engine run.
+type Config struct {
+	// N is the number of processors; T the tolerated fault bound.
+	N, T int
+	// Transmitter identifies the processor holding the initial value.
+	Transmitter ident.ProcID
+	// Phases is the last phase during which messages may be sent. The
+	// engine performs one additional delivery-only step so messages from
+	// the final phase reach their recipients.
+	Phases int
+	// Faulty is the set of Byzantine processors (their nodes are supplied
+	// by the adversary). May be nil for a fault-free run.
+	Faulty ident.Set
+	// Rushing grants the adversary the classical "rushing" power: within
+	// each phase the correct processors are stepped first and the faulty
+	// processors additionally see the messages the correct ones sent *this*
+	// phase before choosing their own. Synchronous protocols must tolerate
+	// this (the paper's model does not forbid it).
+	Rushing bool
+	// Observers receive every sent envelope (optional).
+	Observers []Observer
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.N < 1:
+		return fmt.Errorf("sim: n=%d < 1", c.N)
+	case c.T < 0:
+		return fmt.Errorf("sim: t=%d < 0", c.T)
+	case c.Phases < 0:
+		return fmt.Errorf("sim: phases=%d < 0", c.Phases)
+	case int(c.Transmitter) < 0 || int(c.Transmitter) >= c.N:
+		return fmt.Errorf("sim: transmitter %v out of range [0,%d)", c.Transmitter, c.N)
+	case c.Faulty.Len() > c.T:
+		return fmt.Errorf("sim: %d faulty processors exceed t=%d", c.Faulty.Len(), c.T)
+	}
+	for id := range c.Faulty {
+		if int(id) < 0 || int(id) >= c.N {
+			return fmt.Errorf("sim: faulty id %v out of range [0,%d)", id, c.N)
+		}
+	}
+	return nil
+}
+
+// Decision is a node's final output.
+type Decision struct {
+	Value   ident.Value
+	Decided bool
+}
+
+// Result is the outcome of a completed run.
+type Result struct {
+	// Decisions maps every processor to its decision (including faulty
+	// processors, whose outputs are meaningless but sometimes interesting).
+	Decisions map[ident.ProcID]Decision
+	// Report carries the metrics counters for the run.
+	Report metrics.Report
+	// Faulty is the faulty set the run was executed with.
+	Faulty ident.Set
+}
+
+// CorrectDecisions returns the decisions of correct processors, sorted by id.
+func (r *Result) CorrectDecisions() []Decision {
+	ids := make([]ident.ProcID, 0, len(r.Decisions))
+	for id := range r.Decisions {
+		if !r.Faulty.Has(id) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]Decision, len(ids))
+	for i, id := range ids {
+		out[i] = r.Decisions[id]
+	}
+	return out
+}
+
+// Engine executes one protocol instance to completion.
+type Engine struct {
+	cfg       Config
+	nodes     []Node
+	collector *metrics.Collector
+
+	// pending[to] accumulates messages sent during the current phase for
+	// delivery at the next one.
+	pending [][]Envelope
+}
+
+// New builds an engine over the given nodes; nodes[i] is the state machine
+// for processor i and must be non-nil.
+func New(cfg Config, nodes []Node) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nodes) != cfg.N {
+		return nil, fmt.Errorf("sim: %d nodes for n=%d", len(nodes), cfg.N)
+	}
+	for i, nd := range nodes {
+		if nd == nil {
+			return nil, fmt.Errorf("sim: nil node for processor %d", i)
+		}
+	}
+	return &Engine{
+		cfg:       cfg,
+		nodes:     nodes,
+		collector: metrics.NewCollector(cfg.Faulty),
+		pending:   make([][]Envelope, cfg.N),
+	}, nil
+}
+
+func (e *Engine) submit(env Envelope) {
+	e.collector.OnSend(env.Phase, env.From, env.SigTotal, len(env.Signers), len(env.Payload))
+	for _, o := range e.cfg.Observers {
+		o.OnSend(env)
+	}
+	e.pending[env.To] = append(e.pending[env.To], env)
+}
+
+// Run executes phases 1..cfg.Phases plus the final delivery-only step and
+// returns the collected decisions and metrics. ctx cancellation aborts
+// between phases.
+func (e *Engine) Run(ctx context.Context) (*Result, error) {
+	inboxes := make([][]Envelope, e.cfg.N)
+	for phase := 1; phase <= e.cfg.Phases+1; phase++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: aborted at phase %d: %w", phase, err)
+		}
+		// Swap pending into inboxes; messages sent this phase accumulate
+		// into fresh pending slices.
+		for to := range inboxes {
+			inboxes[to] = e.pending[to]
+			e.pending[to] = nil
+			sortInbox(inboxes[to])
+		}
+		step := func(id int, extra []Envelope) error {
+			nctx := &Context{
+				id:          ident.ProcID(id),
+				n:           e.cfg.N,
+				t:           e.cfg.T,
+				transmitter: e.cfg.Transmitter,
+				phase:       phase,
+				lastPhase:   e.cfg.Phases,
+				submit:      e.submit,
+			}
+			inbox := inboxes[id]
+			if len(extra) > 0 {
+				inbox = append(append([]Envelope(nil), inbox...), extra...)
+			}
+			if err := e.nodes[id].Step(nctx, inbox); err != nil {
+				return fmt.Errorf("sim: processor %d failed at phase %d: %w", id, phase, err)
+			}
+			return nil
+		}
+		if !e.cfg.Rushing {
+			for id := 0; id < e.cfg.N; id++ {
+				if err := step(id, nil); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			// Rushing: correct processors move first; faulty processors
+			// then peek at the current phase's correct traffic addressed
+			// to them before sending.
+			for id := 0; id < e.cfg.N; id++ {
+				if !e.cfg.Faulty.Has(ident.ProcID(id)) {
+					if err := step(id, nil); err != nil {
+						return nil, err
+					}
+				}
+			}
+			for id := 0; id < e.cfg.N; id++ {
+				if e.cfg.Faulty.Has(ident.ProcID(id)) {
+					peek := e.pending[id]
+					if err := step(id, peek); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	res := &Result{
+		Decisions: make(map[ident.ProcID]Decision, e.cfg.N),
+		Report:    e.collector.Report(),
+		Faulty:    e.cfg.Faulty.Clone(),
+	}
+	for id, nd := range e.nodes {
+		v, ok := nd.Decide()
+		res.Decisions[ident.ProcID(id)] = Decision{Value: v, Decided: ok}
+	}
+	return res, nil
+}
+
+// sortInbox orders an inbox by sender id, preserving the submission order of
+// messages from the same sender (stable).
+func sortInbox(in []Envelope) {
+	sort.SliceStable(in, func(i, j int) bool { return in[i].From < in[j].From })
+}

@@ -1,0 +1,264 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"byzex/internal/ident"
+	"byzex/internal/sim"
+)
+
+// echoNode broadcasts its id at phase 1 and records everything received.
+type echoNode struct {
+	id       ident.ProcID
+	received []sim.Envelope
+}
+
+func (e *echoNode) Step(ctx *sim.Context, inbox []sim.Envelope) error {
+	e.received = append(e.received, inbox...)
+	if ctx.Phase() == 1 {
+		for i := 0; i < ctx.N(); i++ {
+			to := ident.ProcID(i)
+			if to == e.id {
+				continue
+			}
+			if err := ctx.Send(to, []byte{byte(e.id)}, nil, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *echoNode) Decide() (ident.Value, bool) { return ident.Value(e.id), true }
+
+func newEngine(t *testing.T, n, phases int) (*sim.Engine, []*echoNode) {
+	t.Helper()
+	nodes := make([]sim.Node, n)
+	echoes := make([]*echoNode, n)
+	for i := range nodes {
+		echoes[i] = &echoNode{id: ident.ProcID(i)}
+		nodes[i] = echoes[i]
+	}
+	eng, err := sim.New(sim.Config{N: n, T: 0, Phases: phases}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, echoes
+}
+
+func TestDeliveryNextPhase(t *testing.T) {
+	eng, echoes := newEngine(t, 3, 1)
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Messages sent at phase 1 arrive at the (delivery-only) step 2.
+	for i, e := range echoes {
+		if len(e.received) != 2 {
+			t.Fatalf("node %d received %d messages, want 2", i, len(e.received))
+		}
+		for _, env := range e.received {
+			if env.Phase != 1 {
+				t.Fatalf("node %d got message from phase %d", i, env.Phase)
+			}
+		}
+	}
+	if res.Report.MessagesCorrect != 6 {
+		t.Fatalf("message count %d, want 6", res.Report.MessagesCorrect)
+	}
+}
+
+func TestInboxSortedBySender(t *testing.T) {
+	eng, echoes := newEngine(t, 5, 1)
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range echoes {
+		for i := 1; i < len(e.received); i++ {
+			if e.received[i].From < e.received[i-1].From {
+				t.Fatal("inbox not sorted by sender")
+			}
+		}
+	}
+}
+
+// lateSender tries to send during the delivery-only step.
+type lateSender struct {
+	errSeen error
+}
+
+func (l *lateSender) Step(ctx *sim.Context, _ []sim.Envelope) error {
+	if ctx.Phase() == 2 { // one past Phases=1
+		l.errSeen = ctx.Send(0, []byte("late"), nil, 0)
+	}
+	return nil
+}
+
+func (l *lateSender) Decide() (ident.Value, bool) { return 0, true }
+
+func TestSendAfterFinalPhaseRejected(t *testing.T) {
+	late := &lateSender{}
+	eng, err := sim.New(sim.Config{N: 2, T: 0, Phases: 1}, []sim.Node{&echoNode{id: 0}, late})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(late.errSeen, sim.ErrSendClosed) {
+		t.Fatalf("late send error = %v, want ErrSendClosed", late.errSeen)
+	}
+}
+
+// selfSender tries to message itself.
+type selfSender struct {
+	errSeen error
+}
+
+func (s *selfSender) Step(ctx *sim.Context, _ []sim.Envelope) error {
+	if ctx.Phase() == 1 {
+		s.errSeen = ctx.Send(ctx.ID(), []byte("self"), nil, 0)
+	}
+	return nil
+}
+
+func (s *selfSender) Decide() (ident.Value, bool) { return 0, true }
+
+func TestSelfSendRejected(t *testing.T) {
+	self := &selfSender{}
+	eng, err := sim.New(sim.Config{N: 2, T: 0, Phases: 1}, []sim.Node{self, &echoNode{id: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(self.errSeen, sim.ErrBadRecipient) {
+		t.Fatalf("self send error = %v, want ErrBadRecipient", self.errSeen)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []sim.Config{
+		{N: 0, Phases: 1},
+		{N: 2, T: -1, Phases: 1},
+		{N: 2, T: 0, Phases: -1},
+		{N: 2, T: 0, Phases: 1, Transmitter: 5},
+		{N: 3, T: 1, Phases: 1, Faulty: ident.NewSet(0, 1)}, // more faulty than t
+		{N: 3, T: 3, Phases: 1, Faulty: ident.NewSet(7)},    // out of range
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	good := sim.Config{N: 3, T: 1, Phases: 2, Faulty: ident.NewSet(2)}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestNodeCountMismatch(t *testing.T) {
+	if _, err := sim.New(sim.Config{N: 3, Phases: 1}, []sim.Node{&echoNode{}}); err == nil {
+		t.Fatal("accepted wrong node count")
+	}
+	if _, err := sim.New(sim.Config{N: 1, Phases: 1}, []sim.Node{nil}); err == nil {
+		t.Fatal("accepted nil node")
+	}
+}
+
+// failNode errors at a chosen phase.
+type failNode struct {
+	at int
+}
+
+func (f *failNode) Step(ctx *sim.Context, _ []sim.Envelope) error {
+	if ctx.Phase() == f.at {
+		return fmt.Errorf("deliberate failure")
+	}
+	return nil
+}
+
+func (f *failNode) Decide() (ident.Value, bool) { return 0, false }
+
+func TestNodeErrorAborts(t *testing.T) {
+	eng, err := sim.New(sim.Config{N: 2, Phases: 3}, []sim.Node{&failNode{at: 2}, &echoNode{id: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background()); err == nil {
+		t.Fatal("node error not propagated")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	eng, _ := newEngine(t, 2, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestSendFilterDropsSilently(t *testing.T) {
+	filtered := &filterNode{}
+	sink := &echoNode{id: 1}
+	eng, err := sim.New(sim.Config{N: 3, Phases: 1}, []sim.Node{filtered, sink, &echoNode{id: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, env := range sink.received {
+		if env.From == 0 {
+			t.Fatal("filtered send reached recipient")
+		}
+	}
+}
+
+type filterNode struct{}
+
+func (f *filterNode) Step(ctx *sim.Context, _ []sim.Envelope) error {
+	if ctx.Phase() != 1 {
+		return nil
+	}
+	fctx := ctx.WithSendFilter(func(to ident.ProcID) bool { return to != 1 })
+	if err := fctx.Send(1, []byte("dropped"), nil, 0); err != nil {
+		return err
+	}
+	return fctx.Send(2, []byte("kept"), nil, 0)
+}
+
+func (f *filterNode) Decide() (ident.Value, bool) { return 0, true }
+
+func TestFaultyMetricsSplit(t *testing.T) {
+	nodes := []sim.Node{&echoNode{id: 0}, &echoNode{id: 1}, &echoNode{id: 2}}
+	eng, err := sim.New(sim.Config{N: 3, T: 1, Phases: 1, Faulty: ident.NewSet(2)}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.MessagesCorrect != 4 || res.Report.MessagesFaulty != 2 {
+		t.Fatalf("split %d/%d, want 4/2", res.Report.MessagesCorrect, res.Report.MessagesFaulty)
+	}
+	if len(res.CorrectDecisions()) != 2 {
+		t.Fatalf("correct decisions %d, want 2", len(res.CorrectDecisions()))
+	}
+}
+
+func TestEnvelopeClone(t *testing.T) {
+	orig := sim.Envelope{From: 1, To: 2, Phase: 3, Payload: []byte{1, 2}, Signers: []ident.ProcID{1}, SigTotal: 1}
+	cl := orig.Clone()
+	cl.Payload[0] = 9
+	cl.Signers[0] = 9
+	if orig.Payload[0] == 9 || orig.Signers[0] == 9 {
+		t.Fatal("clone shares storage")
+	}
+}

@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"net"
+	"testing"
+
+	"byzex/internal/ident"
+	"byzex/internal/sim"
+)
+
+// pipeConn runs writeFrame/readFrame across a real in-memory connection.
+func pipeRoundTrip(t *testing.T, phase int, from ident.ProcID, msgs []sim.Envelope) (int, ident.ProcID, []sim.Envelope) {
+	t.Helper()
+	a, b := net.Pipe()
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- writeFrame(a, phase, from, msgs) }()
+	gotPhase, gotFrom, gotMsgs, err := readFrame(b, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	return gotPhase, gotFrom, gotMsgs
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := []sim.Envelope{
+		{From: 3, To: 9, Phase: 7, Payload: []byte("alpha"), Signers: []ident.ProcID{1, 2}, SigTotal: 2},
+		{From: 3, To: 9, Phase: 7, Payload: nil, SigTotal: 0},
+	}
+	phase, from, got := pipeRoundTrip(t, 7, 3, msgs)
+	if phase != 7 || from != 3 {
+		t.Fatalf("header (%d,%v)", phase, from)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d messages", len(got))
+	}
+	if string(got[0].Payload) != "alpha" || got[0].SigTotal != 2 || len(got[0].Signers) != 2 {
+		t.Fatalf("message 0 mismatch: %+v", got[0])
+	}
+	if got[0].To != 9 {
+		t.Fatal("recipient not rewritten to the reader's identity")
+	}
+}
+
+func TestFrameEmpty(t *testing.T) {
+	phase, from, got := pipeRoundTrip(t, 2, 5, nil)
+	if phase != 2 || from != 5 || len(got) != 0 {
+		t.Fatalf("empty frame round trip: %d %v %d", phase, from, len(got))
+	}
+}
+
+func TestFrameOversizeRejected(t *testing.T) {
+	a, b := net.Pipe()
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+	go func() {
+		// Forge a header claiming a frame beyond the limit.
+		_, _ = a.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	}()
+	if _, _, _, err := readFrame(b, 0); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestFrameGarbageBodyRejected(t *testing.T) {
+	a, b := net.Pipe()
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+	go func() {
+		_, _ = a.Write([]byte{0, 0, 0, 3, 0xFF, 0xFF, 0xFF})
+	}()
+	if _, _, _, err := readFrame(b, 0); err == nil {
+		t.Fatal("garbage body accepted")
+	}
+}

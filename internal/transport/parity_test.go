@@ -1,0 +1,77 @@
+package transport_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/protocol"
+	"byzex/internal/protocols/alg1"
+	"byzex/internal/protocols/alg2"
+	"byzex/internal/protocols/alg3"
+	"byzex/internal/protocols/alg5"
+	"byzex/internal/protocols/dolevstrong"
+	"byzex/internal/sig"
+	"byzex/internal/transport"
+)
+
+// TestEngineTCPParity runs the same deterministic protocol instance on the
+// in-memory engine and over TCP with an identical signature scheme: the
+// substrates must produce identical decisions and identical message,
+// signature and byte totals (lock-step synchrony means goroutine
+// scheduling cannot change what is sent).
+func TestEngineTCPParity(t *testing.T) {
+	cases := []struct {
+		p    protocol.Protocol
+		n, t int
+	}{
+		{alg1.Protocol{}, 7, 3},
+		{alg2.Protocol{}, 5, 2},
+		{alg3.Protocol{S: 3}, 14, 2},
+		{alg5.Protocol{S: 2}, 25, 2},
+		{dolevstrong.Protocol{}, 6, 2},
+	}
+	for _, tc := range cases {
+		for _, v := range []ident.Value{ident.V0, ident.V1} {
+			scheme := sig.NewHMAC(tc.n, 321)
+
+			engRes, _, err := core.RunAndCheck(context.Background(), core.Config{
+				Protocol: tc.p, N: tc.n, T: tc.t, Value: v, Scheme: scheme,
+			})
+			if err != nil {
+				t.Fatalf("%s engine: %v", tc.p.Name(), err)
+			}
+
+			tcpRes, err := transport.Run(context.Background(), transport.Config{
+				Protocol: tc.p, N: tc.n, T: tc.t, Value: v, Scheme: scheme,
+				PhaseTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("%s tcp: %v", tc.p.Name(), err)
+			}
+
+			for id, ed := range engRes.Sim.Decisions {
+				td, ok := tcpRes.Decisions[id]
+				if !ok || td != ed {
+					t.Fatalf("%s v=%v: decision of %v differs (engine %v, tcp %v)",
+						tc.p.Name(), v, id, ed, td)
+				}
+			}
+			er, tr := engRes.Sim.Report, tcpRes.Report
+			if er.MessagesCorrect != tr.MessagesCorrect {
+				t.Fatalf("%s v=%v: messages differ (engine %d, tcp %d)",
+					tc.p.Name(), v, er.MessagesCorrect, tr.MessagesCorrect)
+			}
+			if er.SignaturesCorrect != tr.SignaturesCorrect {
+				t.Fatalf("%s v=%v: signatures differ (engine %d, tcp %d)",
+					tc.p.Name(), v, er.SignaturesCorrect, tr.SignaturesCorrect)
+			}
+			if er.BytesCorrect != tr.BytesCorrect {
+				t.Fatalf("%s v=%v: bytes differ (engine %d, tcp %d)",
+					tc.p.Name(), v, er.BytesCorrect, tr.BytesCorrect)
+			}
+		}
+	}
+}

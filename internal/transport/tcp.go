@@ -1,0 +1,402 @@
+// Package transport runs a protocol instance over a real network stack:
+// every processor is a goroutine with a TCP listener on localhost, the full
+// mesh is wired with length-prefixed frames, and lock-step synchrony is
+// enforced by the classical α-synchronizer pattern — each processor sends
+// exactly one frame (possibly empty) to every peer per phase and advances
+// once it holds the previous phase's frame from every peer (or the
+// per-phase timeout fires, which tolerates crashed peers).
+//
+// The same sim.Node state machines that drive the in-memory engine run
+// unmodified over TCP; only the delivery substrate changes.
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"byzex/internal/adversary"
+	"byzex/internal/ident"
+	"byzex/internal/metrics"
+	"byzex/internal/protocol"
+	"byzex/internal/sig"
+	"byzex/internal/sim"
+	"byzex/internal/wire"
+)
+
+// Errors.
+var (
+	// ErrStalled indicates a processor gave up waiting for a phase.
+	ErrStalled = errors.New("transport: phase stalled beyond timeout")
+)
+
+// maxFrame bounds a single frame on the wire (16 MiB).
+const maxFrame = 16 << 20
+
+// Config describes a TCP cluster run.
+type Config struct {
+	// N, T, Transmitter, Value, Protocol, Scheme: as in core.Config.
+	N           int
+	T           int
+	Transmitter ident.ProcID
+	Value       ident.Value
+	Protocol    protocol.Protocol
+	Scheme      sig.Scheme
+
+	// Adversary and Faulty select Byzantine processors (optional).
+	Adversary adversary.Adversary
+	Faulty    ident.Set
+
+	// PhaseTimeout is the per-phase wait for missing peers (default 5s).
+	PhaseTimeout time.Duration
+
+	// Mute lists processors whose frames are never flushed — simulating a
+	// machine that died without closing its sockets. Peers fall back to
+	// the phase timeout when waiting on a muted processor, so runs with
+	// Mute processors take ≈ phases × PhaseTimeout; keep the timeout small
+	// in tests. Muted processors should also be in Faulty: a correct
+	// processor cannot be muted without violating the synchrony assumption
+	// the protocols rely on.
+	Mute ident.Set
+
+	// Seed drives deterministic randomness (scheme and adversary).
+	Seed int64
+}
+
+// Result mirrors sim.Result for a cluster run.
+type Result struct {
+	Decisions map[ident.ProcID]sim.Decision
+	Report    metrics.Report
+	Faulty    ident.Set
+}
+
+// Run executes the configured protocol over localhost TCP.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Protocol == nil {
+		return nil, errors.New("transport: nil protocol")
+	}
+	if err := cfg.Protocol.Check(cfg.N, cfg.T); err != nil {
+		return nil, err
+	}
+	scheme := cfg.Scheme
+	if scheme == nil {
+		scheme = sig.NewHMAC(cfg.N, cfg.Seed^0x7cb)
+	}
+	if cfg.PhaseTimeout <= 0 {
+		cfg.PhaseTimeout = 5 * time.Second
+	}
+	faulty := cfg.Faulty
+	if faulty == nil {
+		faulty = make(ident.Set)
+	}
+	var env *adversary.Env
+	if cfg.Adversary != nil && faulty.Len() > 0 {
+		st, err := adversary.NewState(faulty, scheme, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		env = &adversary.Env{Protocol: cfg.Protocol, State: st}
+	}
+
+	phases := cfg.Protocol.Phases(cfg.N, cfg.T)
+	collector := metrics.NewCollector(faulty)
+	var collectorMu sync.Mutex
+
+	// Build nodes and listeners.
+	peers := make([]*peer, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		id := ident.ProcID(i)
+		signer, err := scheme.Signer(id)
+		if err != nil {
+			return nil, err
+		}
+		ncfg := protocol.NodeConfig{
+			ID: id, N: cfg.N, T: cfg.T,
+			Transmitter: cfg.Transmitter, Value: cfg.Value,
+			Signer: signer, Verifier: scheme,
+		}
+		var node sim.Node
+		if faulty.Has(id) && env != nil {
+			node, err = cfg.Adversary.NewNode(ncfg, env)
+		} else {
+			node, err = cfg.Protocol.NewNode(ncfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		peers[i] = newPeer(id, cfg, node, ln, phases, func(phase int, from ident.ProcID, sigTotal, signers, bytes int) {
+			collectorMu.Lock()
+			defer collectorMu.Unlock()
+			collector.OnSend(phase, from, sigTotal, signers, bytes)
+		})
+	}
+	addrs := make([]string, cfg.N)
+	for i, p := range peers {
+		addrs[i] = p.ln.Addr().String()
+	}
+
+	// Run all peers.
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.N)
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			errs[i] = p.run(ctx, addrs)
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !faulty.Has(ident.ProcID(i)) {
+			return nil, fmt.Errorf("transport: processor %d: %w", i, err)
+		}
+	}
+
+	res := &Result{
+		Decisions: make(map[ident.ProcID]sim.Decision, cfg.N),
+		Faulty:    faulty.Clone(),
+	}
+	collectorMu.Lock()
+	res.Report = collector.Report()
+	collectorMu.Unlock()
+	for i, p := range peers {
+		v, ok := p.node.Decide()
+		res.Decisions[ident.ProcID(i)] = sim.Decision{Value: v, Decided: ok}
+	}
+	return res, nil
+}
+
+// peer is one processor's runtime: listener, outbound connections, inbound
+// frame buffers keyed by phase.
+type peer struct {
+	id      ident.ProcID
+	cfg     Config
+	node    sim.Node
+	ln      net.Listener
+	phases  int
+	onSend  func(phase int, from ident.ProcID, sigTotal, signers, bytes int)
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbound map[int]map[ident.ProcID][]sim.Envelope // phase -> sender -> msgs
+	arrived map[int]ident.Set                       // phase -> senders heard from
+}
+
+func newPeer(id ident.ProcID, cfg Config, node sim.Node, ln net.Listener, phases int,
+	onSend func(int, ident.ProcID, int, int, int)) *peer {
+	p := &peer{
+		id: id, cfg: cfg, node: node, ln: ln, phases: phases, onSend: onSend,
+		inbound: make(map[int]map[ident.ProcID][]sim.Envelope),
+		arrived: make(map[int]ident.Set),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *peer) noteFrame(phase int, from ident.ProcID, msgs []sim.Envelope) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.inbound[phase] == nil {
+		p.inbound[phase] = make(map[ident.ProcID][]sim.Envelope)
+	}
+	p.inbound[phase][from] = append(p.inbound[phase][from], msgs...)
+	if p.arrived[phase] == nil {
+		p.arrived[phase] = make(ident.Set)
+	}
+	p.arrived[phase].Add(from)
+	p.cond.Broadcast()
+}
+
+// waitPhase blocks until frames for the phase arrived from all peers or the
+// timeout fires; it returns the inbox.
+func (p *peer) waitPhase(phase int) []sim.Envelope {
+	deadline := time.Now().Add(p.cfg.PhaseTimeout)
+	timer := time.AfterFunc(p.cfg.PhaseTimeout, func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.cond.Broadcast()
+	})
+	defer timer.Stop()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	want := p.cfg.N - 1
+	for p.arrived[phase].Len() < want && time.Now().Before(deadline) {
+		p.cond.Wait()
+	}
+	var inbox []sim.Envelope
+	for _, msgs := range p.inbound[phase] {
+		inbox = append(inbox, msgs...)
+	}
+	delete(p.inbound, phase)
+	delete(p.arrived, phase)
+	return inbox
+}
+
+func (p *peer) acceptLoop(done <-chan struct{}) {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			defer func() { _ = c.Close() }()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				phase, from, msgs, err := readFrame(c, p.id)
+				if err != nil {
+					return
+				}
+				p.noteFrame(phase, from, msgs)
+			}
+		}(conn)
+	}
+}
+
+func (p *peer) run(ctx context.Context, addrs []string) error {
+	done := make(chan struct{})
+	defer close(done)
+	defer func() { _ = p.ln.Close() }()
+	go p.acceptLoop(done)
+
+	// Dial the mesh.
+	conns := make([]net.Conn, len(addrs))
+	for i, addr := range addrs {
+		if ident.ProcID(i) == p.id {
+			continue
+		}
+		var err error
+		for attempt := 0; attempt < 50; attempt++ {
+			conns[i], err = net.Dial("tcp", addr)
+			if err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err != nil {
+			return fmt.Errorf("dial %s: %w", addr, err)
+		}
+	}
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+
+	for phase := 1; phase <= p.phases+1; phase++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var inbox []sim.Envelope
+		if phase > 1 {
+			inbox = p.waitPhase(phase - 1)
+		}
+		sortInbox(inbox)
+
+		// Buffer sends per recipient for this phase.
+		outgoing := make(map[ident.ProcID][]sim.Envelope)
+		nctx := sim.NewContext(p.id, p.cfg.N, p.cfg.T, p.cfg.Transmitter, phase, p.phases, func(e sim.Envelope) {
+			p.onSend(e.Phase, e.From, e.SigTotal, len(e.Signers), len(e.Payload))
+			outgoing[e.To] = append(outgoing[e.To], e)
+		})
+		if err := p.node.Step(nctx, inbox); err != nil {
+			return fmt.Errorf("phase %d: %w", phase, err)
+		}
+
+		// Flush one frame (possibly empty) to every peer.
+		if phase <= p.phases && !p.cfg.Mute.Has(p.id) {
+			for i, conn := range conns {
+				if conn == nil {
+					continue
+				}
+				if err := writeFrame(conn, phase, p.id, outgoing[ident.ProcID(i)]); err != nil {
+					return fmt.Errorf("phase %d send to %d: %w", phase, i, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sortInbox(in []sim.Envelope) {
+	for i := 1; i < len(in); i++ {
+		for j := i; j > 0 && in[j].From < in[j-1].From; j-- {
+			in[j], in[j-1] = in[j-1], in[j]
+		}
+	}
+}
+
+// Frame wire format: u32 length, then body: uvarint phase, sender, count,
+// then per message: payload bytes, signer list, sigTotal.
+func writeFrame(conn net.Conn, phase int, from ident.ProcID, msgs []sim.Envelope) error {
+	w := wire.NewWriter(64)
+	w.Uint(uint64(phase))
+	w.Proc(from)
+	w.Uint(uint64(len(msgs)))
+	for _, m := range msgs {
+		w.BytesField(m.Payload)
+		w.Procs(m.Signers)
+		w.Uint(uint64(m.SigTotal))
+	}
+	body := w.Bytes()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(body)
+	return err
+}
+
+func readFrame(conn net.Conn, to ident.ProcID) (int, ident.ProcID, []sim.Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return 0, 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return 0, 0, nil, err
+	}
+	r := wire.NewReader(body)
+	phase := int(r.Uint())
+	from := r.Proc()
+	cnt := r.Len()
+	if r.Err() != nil {
+		return 0, 0, nil, r.Err()
+	}
+	msgs := make([]sim.Envelope, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		payload := append([]byte(nil), r.BytesField()...)
+		signers := r.Procs()
+		sigTotal := int(r.Uint())
+		if r.Err() != nil {
+			return 0, 0, nil, r.Err()
+		}
+		msgs = append(msgs, sim.Envelope{
+			From: from, To: to, Phase: phase,
+			Payload: payload, Signers: signers, SigTotal: sigTotal,
+		})
+	}
+	if err := r.Finish(); err != nil {
+		return 0, 0, nil, err
+	}
+	return phase, from, msgs, nil
+}

@@ -1,0 +1,171 @@
+// Package tree implements the complete-binary-tree partition of passive
+// processors used by Algorithm 5. The passive processors are divided into
+// trees of capacity s = 2^λ - 1 (the last tree may hold fewer members).
+// Positions use 0-based heap indexing: the children of position i are 2i+1
+// and 2i+2; the root is position 0 at level 0; leaves sit at level λ-1.
+//
+// The paper speaks of subtrees "whose leaves are the leaves of the original
+// binary tree": these are exactly the subtrees rooted at some position and
+// containing all of its descendants. A subtree rooted at level k has depth
+// λ-k and at most l(λ-k) = 2^(λ-k) - 1 members. Block x of Algorithm 5
+// processes the depth-x subtrees, i.e. those rooted at level λ-x.
+package tree
+
+import (
+	"fmt"
+	"math/bits"
+
+	"byzex/internal/ident"
+)
+
+// Ref addresses one node of a forest: tree index plus heap position.
+type Ref struct {
+	Tree int
+	Pos  int
+}
+
+// Level returns the level of a heap position (root = 0).
+func Level(pos int) int { return bits.Len(uint(pos)+1) - 1 }
+
+// Cap returns l(x) = 2^x - 1, the capacity of a depth-x complete tree.
+func Cap(x int) int { return (1 << uint(x)) - 1 }
+
+// LambdaFor returns the smallest λ with 2^λ - 1 ≥ s, i.e. the depth of the
+// smallest complete binary tree holding s members (λ ≥ 1).
+func LambdaFor(s int) int {
+	if s < 1 {
+		s = 1
+	}
+	lam := 1
+	for Cap(lam) < s {
+		lam++
+	}
+	return lam
+}
+
+// Tree is one binary tree of processors in heap order.
+type Tree struct {
+	Members []ident.ProcID
+}
+
+// Children returns the existing child positions of pos.
+func (t Tree) Children(pos int) []int {
+	out := make([]int, 0, 2)
+	for _, c := range []int{2*pos + 1, 2*pos + 2} {
+		if c < len(t.Members) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Subtree returns the existing positions of the subtree rooted at pos, in
+// BFS order starting with pos itself.
+func (t Tree) Subtree(pos int) []int {
+	if pos >= len(t.Members) {
+		return nil
+	}
+	out := []int{pos}
+	for i := 0; i < len(out); i++ {
+		out = append(out, t.Children(out[i])...)
+	}
+	return out
+}
+
+// Forest is the partition of a processor list into binary trees.
+type Forest struct {
+	// Lambda is the tree depth; every tree holds at most Cap(Lambda)
+	// members.
+	Lambda int
+	// Trees holds the trees in partition order.
+	Trees []Tree
+
+	locate map[ident.ProcID]Ref
+}
+
+// NewForest partitions the given processors (in order) into trees of depth
+// lambda.
+func NewForest(procs []ident.ProcID, lambda int) (*Forest, error) {
+	if lambda < 1 {
+		return nil, fmt.Errorf("tree: lambda %d < 1", lambda)
+	}
+	f := &Forest{Lambda: lambda, locate: make(map[ident.ProcID]Ref, len(procs))}
+	s := Cap(lambda)
+	for len(procs) > 0 {
+		k := s
+		if k > len(procs) {
+			k = len(procs)
+		}
+		tr := Tree{Members: append([]ident.ProcID(nil), procs[:k]...)}
+		for pos, id := range tr.Members {
+			if _, dup := f.locate[id]; dup {
+				return nil, fmt.Errorf("tree: duplicate processor %v", id)
+			}
+			f.locate[id] = Ref{Tree: len(f.Trees), Pos: pos}
+		}
+		f.Trees = append(f.Trees, tr)
+		procs = procs[k:]
+	}
+	return f, nil
+}
+
+// Size returns the total number of processors in the forest.
+func (f *Forest) Size() int { return len(f.locate) }
+
+// Locate returns the position of a processor, if it is in the forest.
+func (f *Forest) Locate(id ident.ProcID) (Ref, bool) {
+	r, ok := f.locate[id]
+	return r, ok
+}
+
+// At returns the processor at a position.
+func (f *Forest) At(r Ref) ident.ProcID { return f.Trees[r.Tree].Members[r.Pos] }
+
+// RootsOfDepth returns the refs of all existing roots of depth-x subtrees,
+// i.e. the positions at level Lambda-x, across all trees.
+func (f *Forest) RootsOfDepth(x int) []Ref {
+	if x < 1 || x > f.Lambda {
+		return nil
+	}
+	level := f.Lambda - x
+	lo, hi := Cap(level), Cap(level+1) // positions at `level` are [2^level-1, 2^(level+1)-1)
+	var out []Ref
+	for ti, tr := range f.Trees {
+		for pos := lo; pos < hi && pos < len(tr.Members); pos++ {
+			out = append(out, Ref{Tree: ti, Pos: pos})
+		}
+	}
+	return out
+}
+
+// SubtreeMembers returns the processors of the subtree rooted at r, in BFS
+// order starting with the root.
+func (f *Forest) SubtreeMembers(r Ref) []ident.ProcID {
+	tr := f.Trees[r.Tree]
+	ps := tr.Subtree(r.Pos)
+	out := make([]ident.ProcID, len(ps))
+	for i, p := range ps {
+		out[i] = tr.Members[p]
+	}
+	return out
+}
+
+// BlockRoot returns the processor acting as q's root during block x: q's
+// ancestor at level Lambda-x (which may be q itself when q sits exactly at
+// that level). ok is false if q is above the block level (its subtree was
+// processed in an earlier block).
+func (f *Forest) BlockRoot(q ident.ProcID, x int) (ident.ProcID, bool) {
+	r, ok := f.locate[q]
+	if !ok {
+		return ident.None, false
+	}
+	level := f.Lambda - x
+	pos := r.Pos
+	for Level(pos) > level {
+		pos = (pos - 1) / 2
+	}
+	if Level(pos) != level {
+		return ident.None, false
+	}
+	return f.Trees[r.Tree].Members[pos], true
+}

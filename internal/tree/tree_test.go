@@ -1,0 +1,250 @@
+package tree_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"byzex/internal/ident"
+	"byzex/internal/tree"
+)
+
+func TestLevelAndCap(t *testing.T) {
+	wantLevels := []int{0, 1, 1, 2, 2, 2, 2, 3}
+	for pos, want := range wantLevels {
+		if got := tree.Level(pos); got != want {
+			t.Errorf("Level(%d) = %d, want %d", pos, got, want)
+		}
+	}
+	for x, want := range map[int]int{0: 0, 1: 1, 2: 3, 3: 7, 4: 15} {
+		if got := tree.Cap(x); got != want {
+			t.Errorf("Cap(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestLambdaFor(t *testing.T) {
+	for s, want := range map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 15: 4, 16: 5} {
+		if got := tree.LambdaFor(s); got != want {
+			t.Errorf("LambdaFor(%d) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestForestPartition(t *testing.T) {
+	procs := ident.Range(20) // capacity 7 per tree at λ=3 -> 2 full + 1 of 6
+	f, err := tree.NewForest(procs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trees) != 3 {
+		t.Fatalf("trees %d", len(f.Trees))
+	}
+	if len(f.Trees[0].Members) != 7 || len(f.Trees[2].Members) != 6 {
+		t.Fatalf("tree sizes %d/%d", len(f.Trees[0].Members), len(f.Trees[2].Members))
+	}
+	if f.Size() != 20 {
+		t.Fatalf("size %d", f.Size())
+	}
+	// Locate round-trips.
+	for _, p := range procs {
+		ref, ok := f.Locate(p)
+		if !ok {
+			t.Fatalf("%v not located", p)
+		}
+		if f.At(ref) != p {
+			t.Fatalf("At(Locate(%v)) = %v", p, f.At(ref))
+		}
+	}
+	if _, ok := f.Locate(99); ok {
+		t.Fatal("located a stranger")
+	}
+}
+
+func TestForestRejectsBadInput(t *testing.T) {
+	if _, err := tree.NewForest(ident.Range(3), 0); err == nil {
+		t.Fatal("lambda 0 accepted")
+	}
+	if _, err := tree.NewForest([]ident.ProcID{1, 1}, 2); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestChildrenAndSubtree(t *testing.T) {
+	f, _ := tree.NewForest(ident.Range(7), 3)
+	tr := f.Trees[0]
+	if kids := tr.Children(0); len(kids) != 2 || kids[0] != 1 || kids[1] != 2 {
+		t.Fatalf("children(0) = %v", kids)
+	}
+	if kids := tr.Children(3); len(kids) != 0 {
+		t.Fatalf("leaf children = %v", kids)
+	}
+	sub := tr.Subtree(1)
+	want := []int{1, 3, 4}
+	if len(sub) != 3 {
+		t.Fatalf("subtree(1) = %v", sub)
+	}
+	for i := range want {
+		if sub[i] != want[i] {
+			t.Fatalf("subtree(1) = %v, want %v", sub, want)
+		}
+	}
+	if whole := tr.Subtree(0); len(whole) != 7 {
+		t.Fatalf("whole subtree %d", len(whole))
+	}
+	if tr.Subtree(99) != nil {
+		t.Fatal("subtree of missing position")
+	}
+}
+
+func TestTruncatedSubtree(t *testing.T) {
+	f, _ := tree.NewForest(ident.Range(5), 3) // positions 0..4
+	tr := f.Trees[0]
+	if sub := tr.Subtree(1); len(sub) != 3 { // 1,3,4
+		t.Fatalf("subtree(1) = %v", sub)
+	}
+	if sub := tr.Subtree(2); len(sub) != 1 { // 2 alone: 5,6 missing
+		t.Fatalf("subtree(2) = %v", sub)
+	}
+}
+
+func TestRootsOfDepth(t *testing.T) {
+	f, _ := tree.NewForest(ident.Range(14), 3) // two trees of 7
+	if roots := f.RootsOfDepth(3); len(roots) != 2 {
+		t.Fatalf("depth-3 roots %d", len(roots))
+	}
+	if roots := f.RootsOfDepth(2); len(roots) != 4 {
+		t.Fatalf("depth-2 roots %d", len(roots))
+	}
+	if roots := f.RootsOfDepth(1); len(roots) != 8 {
+		t.Fatalf("depth-1 roots (leaves) %d", len(roots))
+	}
+	if f.RootsOfDepth(0) != nil || f.RootsOfDepth(4) != nil {
+		t.Fatal("out-of-range depths")
+	}
+}
+
+func TestBlockRoot(t *testing.T) {
+	f, _ := tree.NewForest(ident.Range(7), 3)
+	// Tree: 0 at level 0; 1,2 level 1; 3..6 level 2.
+	// Block 3 (depth-3 subtrees): root is position 0 for everyone.
+	for _, q := range ident.Range(7) {
+		root, ok := f.BlockRoot(q, 3)
+		if !ok || root != 0 {
+			t.Fatalf("BlockRoot(%v, 3) = %v, %v", q, root, ok)
+		}
+	}
+	// Block 2: level-1 ancestors.
+	if r, ok := f.BlockRoot(3, 2); !ok || r != 1 {
+		t.Fatalf("BlockRoot(3,2) = %v", r)
+	}
+	if r, ok := f.BlockRoot(6, 2); !ok || r != 2 {
+		t.Fatalf("BlockRoot(6,2) = %v", r)
+	}
+	// A node above the block level has no block root.
+	if _, ok := f.BlockRoot(0, 2); ok {
+		t.Fatal("root has a block-2 root")
+	}
+	if _, ok := f.BlockRoot(0, 1); ok {
+		t.Fatal("root has a block-1 root")
+	}
+	// Leaves are their own block-1 roots.
+	if r, ok := f.BlockRoot(4, 1); !ok || r != 4 {
+		t.Fatalf("BlockRoot(4,1) = %v", r)
+	}
+	if _, ok := f.BlockRoot(99, 1); ok {
+		t.Fatal("stranger has a block root")
+	}
+}
+
+func TestSubtreeMembersOrder(t *testing.T) {
+	f, _ := tree.NewForest(ident.Range(7), 3)
+	members := f.SubtreeMembers(tree.Ref{Tree: 0, Pos: 0})
+	if len(members) != 7 || members[0] != 0 {
+		t.Fatalf("members %v", members)
+	}
+	// BFS order: root, its children, then grandchildren.
+	want := []ident.ProcID{0, 1, 2, 3, 4, 5, 6}
+	for i := range want {
+		if members[i] != want[i] {
+			t.Fatalf("members %v", members)
+		}
+	}
+}
+
+func TestQuickPartitionComplete(t *testing.T) {
+	// Property: every processor appears in exactly one tree at a valid
+	// position, trees respect the capacity, and Subtree(0) enumerates each
+	// tree completely.
+	f := func(nRaw, lamRaw uint8) bool {
+		n := int(nRaw)%60 + 1
+		lam := int(lamRaw)%4 + 1
+		procs := ident.Range(n)
+		forest, err := tree.NewForest(procs, lam)
+		if err != nil {
+			return false
+		}
+		seen := make(ident.Set)
+		capacity := tree.Cap(lam)
+		for ti, tr := range forest.Trees {
+			if len(tr.Members) > capacity {
+				return false
+			}
+			if ti < len(forest.Trees)-1 && len(tr.Members) != capacity {
+				return false // only the last tree may be short
+			}
+			for _, pos := range tr.Subtree(0) {
+				if !seen.Add(tr.Members[pos]) {
+					return false
+				}
+			}
+		}
+		return seen.Len() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBlockRootIsAncestorAtRightLevel(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		forest, err := tree.NewForest(ident.Range(n), 3)
+		if err != nil {
+			return false
+		}
+		for _, q := range ident.Range(n) {
+			ref, _ := forest.Locate(q)
+			for x := 1; x <= 3; x++ {
+				root, ok := forest.BlockRoot(q, x)
+				if tree.Level(ref.Pos) < 3-x {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok {
+					return false
+				}
+				rootRef, _ := forest.Locate(root)
+				if rootRef.Tree != ref.Tree || tree.Level(rootRef.Pos) != 3-x {
+					return false
+				}
+				// root's subtree must contain q.
+				found := false
+				for _, m := range forest.SubtreeMembers(rootRef) {
+					if m == q {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

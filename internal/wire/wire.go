@@ -1,0 +1,212 @@
+// Package wire implements the canonical binary encoding shared by the
+// in-memory and TCP transports and by the signature chains.
+//
+// Protocol messages must serialize identically on every processor: a
+// signature is computed over the canonical bytes, so any ambiguity in the
+// encoding would let a faulty processor present the "same" message in two
+// forms. The encoding is deliberately simple and deterministic:
+//
+//   - unsigned integers as uvarint
+//   - signed integers as zigzag uvarint
+//   - byte strings as uvarint length prefix + raw bytes
+//   - lists as uvarint count + elements
+//
+// The Reader methods record the first error and make all subsequent reads
+// no-ops, so decoding code can chain reads and check the error once
+// ("handle errors once", per the style guide).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"byzex/internal/ident"
+)
+
+// ErrTruncated indicates the buffer ended before a complete value was read.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// ErrOversize indicates a length prefix exceeded the reader's limit; it
+// guards against maliciously crafted payloads allocating huge buffers.
+var ErrOversize = errors.New("wire: length prefix exceeds limit")
+
+// MaxElem bounds any single length prefix (bytes of a string or elements of
+// a list). 1 MiB is far above anything the protocols in this module send for
+// a single field while still preventing pathological allocations.
+const MaxElem = 1 << 20
+
+// Writer accumulates a canonical encoding. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with capacity preallocated for n bytes.
+func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
+
+// Bytes returns the encoded bytes. The slice aliases the writer's internal
+// buffer; callers that keep writing must copy it first.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Uint appends an unsigned integer.
+func (w *Writer) Uint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Int appends a signed integer using zigzag encoding.
+func (w *Writer) Int(v int64) { w.buf = binary.AppendUvarint(w.buf, zigzag(v)) }
+
+// Byte appends a single raw byte.
+func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// Bytes appends a length-prefixed byte string.
+func (w *Writer) BytesField(b []byte) {
+	w.Uint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Proc appends a processor identity.
+func (w *Writer) Proc(p ident.ProcID) { w.Int(int64(p)) }
+
+// Procs appends a count-prefixed list of processor identities.
+func (w *Writer) Procs(ps []ident.ProcID) {
+	w.Uint(uint64(len(ps)))
+	for _, p := range ps {
+		w.Proc(p)
+	}
+}
+
+// Value appends an agreement value.
+func (w *Writer) Value(v ident.Value) { w.Int(int64(v)) }
+
+// Reader decodes a canonical encoding produced by Writer. Construct with
+// NewReader. After any failure, Err returns the first error and every
+// subsequent read returns the zero value.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps buf for decoding. The reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Rest returns the unread remainder of the buffer.
+func (r *Reader) Rest() []byte { return r.buf[r.off:] }
+
+// Done reports whether the whole buffer was consumed without error.
+func (r *Reader) Done() bool { return r.err == nil && r.off == len(r.buf) }
+
+// Finish returns an error unless the buffer was fully and cleanly consumed.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Uint reads an unsigned integer.
+func (r *Reader) Uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a signed integer.
+func (r *Reader) Int() int64 { return unzigzag(r.Uint()) }
+
+// Byte reads a single raw byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Len reads a length prefix and validates it against MaxElem and the
+// remaining buffer size (for byte-granular lengths the latter is exact; for
+// element counts it is a conservative lower bound of one byte per element).
+func (r *Reader) Len() int {
+	n := r.Uint()
+	if r.err != nil {
+		return 0
+	}
+	if n > MaxElem || int(n) > len(r.buf)-r.off {
+		r.fail(ErrOversize)
+		return 0
+	}
+	return int(n)
+}
+
+// BytesField reads a length-prefixed byte string. The result aliases the
+// underlying buffer.
+func (r *Reader) BytesField() []byte {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.BytesField()) }
+
+// Proc reads a processor identity.
+func (r *Reader) Proc() ident.ProcID { return ident.ProcID(r.Int()) }
+
+// Procs reads a count-prefixed list of processor identities.
+func (r *Reader) Procs() []ident.ProcID {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]ident.ProcID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.Proc())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Value reads an agreement value.
+func (r *Reader) Value() ident.Value { return ident.Value(r.Int()) }
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -1,0 +1,220 @@
+package wire_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"byzex/internal/ident"
+	"byzex/internal/wire"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	w := wire.NewWriter(64)
+	w.Uint(0)
+	w.Uint(math.MaxUint64)
+	w.Int(0)
+	w.Int(-1)
+	w.Int(math.MaxInt64)
+	w.Int(math.MinInt64)
+	w.Byte(0xAB)
+	w.Proc(ident.ProcID(42))
+	w.Proc(ident.None)
+	w.Value(ident.V1)
+
+	r := wire.NewReader(w.Bytes())
+	if got := r.Uint(); got != 0 {
+		t.Errorf("uint 0: got %d", got)
+	}
+	if got := r.Uint(); got != math.MaxUint64 {
+		t.Errorf("uint max: got %d", got)
+	}
+	for _, want := range []int64{0, -1, math.MaxInt64, math.MinInt64} {
+		if got := r.Int(); got != want {
+			t.Errorf("int %d: got %d", want, got)
+		}
+	}
+	if got := r.Byte(); got != 0xAB {
+		t.Errorf("byte: got %x", got)
+	}
+	if got := r.Proc(); got != 42 {
+		t.Errorf("proc: got %v", got)
+	}
+	if got := r.Proc(); got != ident.None {
+		t.Errorf("none proc: got %v", got)
+	}
+	if got := r.Value(); got != ident.V1 {
+		t.Errorf("value: got %v", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+}
+
+func TestRoundTripBytesAndStrings(t *testing.T) {
+	cases := [][]byte{nil, {}, {0}, []byte("hello"), bytes.Repeat([]byte{0xFF}, 1000)}
+	for _, c := range cases {
+		w := wire.NewWriter(8)
+		w.BytesField(c)
+		r := wire.NewReader(w.Bytes())
+		got := r.BytesField()
+		if err := r.Finish(); err != nil {
+			t.Fatalf("finish: %v", err)
+		}
+		if !bytes.Equal(got, c) {
+			t.Errorf("round trip %q -> %q", c, got)
+		}
+	}
+}
+
+func TestRoundTripProcs(t *testing.T) {
+	cases := [][]ident.ProcID{nil, {}, {0}, {1, 2, 3}, ident.Range(500)}
+	for _, c := range cases {
+		w := wire.NewWriter(8)
+		w.Procs(c)
+		r := wire.NewReader(w.Bytes())
+		got := r.Procs()
+		if err := r.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(c) {
+			t.Fatalf("len %d != %d", len(got), len(c))
+		}
+		for i := range c {
+			if got[i] != c[i] {
+				t.Errorf("elem %d: %v != %v", i, got[i], c[i])
+			}
+		}
+	}
+}
+
+func TestTruncatedInputs(t *testing.T) {
+	w := wire.NewWriter(16)
+	w.Uint(300)
+	w.BytesField([]byte("payload"))
+	full := w.Bytes()
+
+	for cut := 0; cut < len(full); cut++ {
+		r := wire.NewReader(full[:cut])
+		r.Uint()
+		r.BytesField()
+		if r.Finish() == nil {
+			t.Errorf("cut at %d: no error", cut)
+		}
+	}
+}
+
+func TestOversizeLengthRejected(t *testing.T) {
+	w := wire.NewWriter(8)
+	w.Uint(uint64(wire.MaxElem) + 1)
+	r := wire.NewReader(w.Bytes())
+	r.BytesField()
+	if r.Err() == nil {
+		t.Fatal("oversize length accepted")
+	}
+}
+
+func TestLengthBeyondBufferRejected(t *testing.T) {
+	w := wire.NewWriter(8)
+	w.Uint(1000) // length prefix with no content behind it
+	r := wire.NewReader(w.Bytes())
+	r.BytesField()
+	if r.Err() == nil {
+		t.Fatal("length beyond buffer accepted")
+	}
+}
+
+func TestErrorsSticky(t *testing.T) {
+	r := wire.NewReader(nil)
+	_ = r.Uint() // fails
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	_ = r.Byte()
+	_ = r.BytesField()
+	if r.Err() != first {
+		t.Fatal("error replaced after first failure")
+	}
+}
+
+func TestTrailingBytesDetected(t *testing.T) {
+	w := wire.NewWriter(8)
+	w.Uint(1)
+	w.Byte(0xEE)
+	r := wire.NewReader(w.Bytes())
+	r.Uint()
+	if err := r.Finish(); err == nil {
+		t.Fatal("trailing byte not detected")
+	}
+}
+
+func TestQuickIntRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		w := wire.NewWriter(16)
+		w.Int(v)
+		r := wire.NewReader(w.Bytes())
+		return r.Int() == v && r.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		w := wire.NewWriter(16)
+		w.Uint(v)
+		r := wire.NewReader(w.Bytes())
+		return r.Uint() == v && r.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMixedSequenceRoundTrip(t *testing.T) {
+	f := func(a uint64, b int64, payload []byte, s string) bool {
+		if len(payload) > wire.MaxElem || len(s) > wire.MaxElem {
+			return true
+		}
+		w := wire.NewWriter(32)
+		w.Uint(a)
+		w.BytesField(payload)
+		w.Int(b)
+		w.String(s)
+		r := wire.NewReader(w.Bytes())
+		if r.Uint() != a {
+			return false
+		}
+		if !bytes.Equal(r.BytesField(), payload) {
+			return false
+		}
+		if r.Int() != b {
+			return false
+		}
+		if r.String() != s {
+			return false
+		}
+		return r.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGarbageNeverPanics(t *testing.T) {
+	f := func(garbage []byte) bool {
+		r := wire.NewReader(garbage)
+		_ = r.Uint()
+		_ = r.BytesField()
+		_ = r.Procs()
+		_ = r.Int()
+		_ = r.Finish()
+		return true // only checking for absence of panics
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
