@@ -1,0 +1,33 @@
+# byzex build / verification entry points.
+#
+#   make check   - tier-1 gate: build everything, vet, full test suite under -race
+#   make bench   - tier-1 benchmarks; archives machine-readable results in BENCH_001.json
+#   make test    - plain test run (no race detector)
+#   make baexp   - regenerate every evaluation table
+
+GO ?= go
+
+.PHONY: check test bench baexp
+
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+test:
+	$(GO) test ./...
+
+# The tier-1 benchmarks: the per-experiment harness at the repo root plus the
+# engine and signature micro-benchmarks. Fixed -benchtime keeps run-to-run
+# iteration counts comparable; benchjson mirrors the text output to stderr
+# and writes the parsed JSON, embedding the recorded seed numbers
+# (BENCH_BASELINE.json) for a before/after diff in one file.
+bench:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	{ $(GO) test -bench 'BenchmarkE2Alg2|BenchmarkE5Alg5' -benchtime=5x -benchmem -run '^$$' . ; \
+	  $(GO) test -bench 'BenchmarkEngineBroadcast|BenchmarkEngineHotPath' -benchtime=20x -benchmem -run '^$$' ./internal/sim/ ; \
+	  $(GO) test -bench 'BenchmarkChainVerify' -benchmem -run '^$$' ./internal/sig/ ; } \
+	| /tmp/benchjson -label current -baseline BENCH_BASELINE.json > BENCH_001.json
+
+baexp:
+	$(GO) run ./cmd/baexp

@@ -10,6 +10,7 @@ package byzex_test
 
 import (
 	"context"
+	"strconv"
 	"testing"
 
 	"byzex/internal/adversary"
@@ -35,6 +36,7 @@ func runBA(b *testing.B, p protocol.Protocol, n, t int, adv adversary.Adversary,
 	b.Helper()
 	ctx := context.Background()
 	var msgs, sigs, phases int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Run(ctx, core.Config{
@@ -244,16 +246,5 @@ func BenchmarkICOverhead(b *testing.B) {
 }
 
 func benchName(k string, v int) string {
-	const digits = "0123456789"
-	if v == 0 {
-		return k + "=0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = digits[v%10]
-		v /= 10
-	}
-	return k + "=" + string(buf[i:])
+	return k + "=" + strconv.Itoa(v)
 }

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	baexp            # run all experiments
-//	baexp -only E5   # run a single experiment
+//	baexp             # run all experiments
+//	baexp -only E5    # run a single experiment
+//	baexp -parallel 8 # bound sweep concurrency (default: one worker per CPU)
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"byzex/internal/experiments"
@@ -22,7 +24,11 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E14)")
 	format := flag.String("format", "text", "output format: text|csv")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"max concurrent runs per experiment sweep (tables are byte-identical at any value)")
 	flag.Parse()
+
+	experiments.SetParallelism(*parallel)
 
 	ctx := context.Background()
 	funcs := map[string]func(context.Context) (*experiments.Table, error){

@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench` output read from stdin into a
+// JSON document on stdout, so benchmark runs can be archived and diffed
+// without external tooling. Each benchmark line becomes one record carrying
+// ns/op, B/op, allocs/op and any custom b.ReportMetric metrics.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -label after > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result.
+type Record struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the emitted file layout. Baseline, when present, carries the
+// results of an earlier run (see -baseline) so one file holds a before/after
+// comparison.
+type Document struct {
+	Label         string   `json:"label,omitempty"`
+	BaselineLabel string   `json:"baseline_label,omitempty"`
+	Baseline      []Record `json:"baseline,omitempty"`
+	Results       []Record `json:"results"`
+}
+
+func main() {
+	label := flag.String("label", "", "label stored alongside the results (e.g. baseline, after)")
+	baseline := flag.String("baseline", "", "path to a previous benchjson document to embed as the baseline")
+	flag.Parse()
+
+	doc := Document{Label: *label}
+	if *baseline != "" {
+		buf, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base Document
+		if err := json.Unmarshal(buf, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		doc.BaselineLabel = base.Label
+		doc.Baseline = base.Results
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Mirror the line so the tool can sit inside a pipe without hiding
+		// the human-readable output.
+		fmt.Fprintln(os.Stderr, line)
+		if rec, ok := parseLine(line); ok {
+			doc.Results = append(doc.Results, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one `Benchmark...` result line:
+//
+//	BenchmarkFoo/n=8-4  100  12345 ns/op  67 B/op  8 allocs/op  3.0 msgs
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{Name: fields[0], Iterations: iters}
+	// The remainder alternates value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			rec.NsPerOp = v
+		case "B/op":
+			rec.BytesPerOp = v
+		case "allocs/op":
+			rec.AllocsPerOp = v
+		default:
+			if rec.Metrics == nil {
+				rec.Metrics = make(map[string]float64)
+			}
+			rec.Metrics[unit] = v
+		}
+	}
+	return rec, rec.NsPerOp > 0 || rec.Metrics != nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	rec, ok := parseLine("BenchmarkE2Alg2/t=16-4   5   33538743 ns/op   17994868 B/op   154355 allocs/op   1056 msgs")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if rec.Name != "BenchmarkE2Alg2/t=16-4" || rec.Iterations != 5 {
+		t.Fatalf("header: %+v", rec)
+	}
+	if rec.NsPerOp != 33538743 || rec.BytesPerOp != 17994868 || rec.AllocsPerOp != 154355 {
+		t.Fatalf("std metrics: %+v", rec)
+	}
+	if rec.Metrics["msgs"] != 1056 {
+		t.Fatalf("custom metric: %+v", rec.Metrics)
+	}
+
+	for _, junk := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  	byzex	1.2s",
+		"BenchmarkBad notanumber 5 ns/op",
+		"",
+	} {
+		if _, ok := parseLine(junk); ok {
+			t.Fatalf("parsed junk line %q", junk)
+		}
+	}
+}

@@ -143,6 +143,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	phases := cfg.Protocol.Phases(cfg.N, cfg.T)
 
+	// All nodes verify through one per-run verified-prefix cache: a relayed
+	// chain pays cryptography only for links not already checked this run
+	// (sound because cache keys commit to the full signing input; see
+	// sig.CachedVerifier). Sharing across nodes is free in the simulation —
+	// verification is objective and the engine is single-threaded.
+	verifier := sig.NewCachedVerifier(scheme)
+
 	// Build the node set: protocol nodes for correct processors, adversary
 	// nodes for corrupted ones.
 	nodes := make([]sim.Node, cfg.N)
@@ -159,7 +166,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			Transmitter: cfg.Transmitter,
 			Value:       cfg.Value,
 			Signer:      signer,
-			Verifier:    scheme,
+			Verifier:    verifier,
 		}
 		if faulty.Has(id) {
 			nodes[i], err = cfg.Adversary.NewNode(ncfg, env)
@@ -193,6 +200,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	hits, misses := verifier.Stats()
+	res.Report.SigCacheHits = int(hits)
+	res.Report.SigCacheMisses = int(misses)
 	out := &Result{Sim: res, Faulty: faulty, Phases: phases, Nodes: nodes}
 	if rec != nil {
 		out.History = rec.History()

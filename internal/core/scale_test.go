@@ -8,6 +8,7 @@ import (
 	"byzex/internal/ident"
 	"byzex/internal/protocols/alg3"
 	"byzex/internal/protocols/alg5"
+	"byzex/internal/runner"
 )
 
 // TestScaleLarge drives the general-n algorithms at fleet sizes to confirm
@@ -46,12 +47,17 @@ func TestScaleLarge(t *testing.T) {
 			bound: func(n, tt int) int { return core.Alg5MsgUpperBound(n, tt, tt) },
 		},
 	}
-	for _, tc := range cases {
+	// The fleet-size runs are independent and slow; execute them on the
+	// pool, then assert serially.
+	results, err := runner.Map(context.Background(), runner.New(0), len(cases), func(ctx context.Context, i int) (*core.Result, error) {
+		return cases[i].run(cases[i].n, cases[i].t)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			res, err := tc.run(tc.n, tc.t)
-			if err != nil {
-				t.Fatal(err)
-			}
+			res := results[i]
 			if got, bound := res.Sim.Report.MessagesCorrect, tc.bound(tc.n, tc.t); got > bound {
 				t.Fatalf("%d messages > bound %d", got, bound)
 			}

@@ -3,6 +3,7 @@ package core_test
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 
 	"byzex/internal/adversary"
@@ -15,6 +16,7 @@ import (
 	"byzex/internal/protocols/alg5"
 	"byzex/internal/protocols/dolevstrong"
 	"byzex/internal/protocols/lsp"
+	"byzex/internal/runner"
 	"byzex/internal/sig"
 )
 
@@ -42,13 +44,39 @@ func checkAgreementConditions(t *testing.T, label string, res *core.Result, txVa
 	}
 }
 
+// agreementErr is checkAgreementConditions as an error for use inside
+// runner jobs (t.Fatalf must not be called off the test goroutine).
+func agreementErr(label string, res *core.Result, txValue ident.Value) error {
+	var first ident.Value
+	seen := false
+	for id, d := range res.Sim.Decisions {
+		if res.Faulty.Has(id) {
+			continue
+		}
+		if !d.Decided {
+			return fmt.Errorf("%s: %v undecided", label, id)
+		}
+		if !seen {
+			first, seen = d.Value, true
+		} else if d.Value != first {
+			return fmt.Errorf("%s: disagreement %v vs %v", label, d.Value, first)
+		}
+	}
+	if !res.Faulty.Has(0) && seen && first != txValue {
+		return fmt.Errorf("%s: validity violated (%v != %v)", label, first, txValue)
+	}
+	return nil
+}
+
 // TestExhaustiveFaultySetsAlg1 enumerates EVERY faulty subset of size ≤ t
 // for a small Algorithm 1 system under the omission-flavoured adversary
 // space (silent coalitions): 2^n subsets filtered to |S| ≤ t, both values.
+// The masks are independent runs, so the enumeration goes through the
+// worker pool.
 func TestExhaustiveFaultySetsAlg1(t *testing.T) {
 	const tt = 2
 	n := 2*tt + 1
-	for mask := 0; mask < (1 << n); mask++ {
+	_, err := runner.Map(context.Background(), runner.New(0), 1<<n, func(ctx context.Context, mask int) (struct{}, error) {
 		faulty := make(ident.Set)
 		for i := 0; i < n; i++ {
 			if mask&(1<<i) != 0 {
@@ -56,18 +84,24 @@ func TestExhaustiveFaultySetsAlg1(t *testing.T) {
 			}
 		}
 		if faulty.Len() > tt {
-			continue
+			return struct{}{}, nil
 		}
 		for _, v := range []ident.Value{ident.V0, ident.V1} {
-			res, err := core.Run(context.Background(), core.Config{
+			res, err := core.Run(ctx, core.Config{
 				Protocol: alg1.Protocol{}, N: n, T: tt, Value: v,
 				Adversary: adversary.Silent{}, FaultyOverride: faulty, Seed: int64(mask),
 			})
 			if err != nil {
-				t.Fatalf("mask=%b v=%v: %v", mask, v, err)
+				return struct{}{}, fmt.Errorf("mask=%b v=%v: %w", mask, v, err)
 			}
-			checkAgreementConditions(t, fmt.Sprintf("mask=%b v=%v", mask, v), res, v)
+			if err := agreementErr(fmt.Sprintf("mask=%b v=%v", mask, v), res, v); err != nil {
+				return struct{}{}, err
+			}
 		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -108,20 +142,55 @@ func TestChaosSweep(t *testing.T) {
 	if testing.Short() {
 		seeds = 4
 	}
-	for _, tc := range cases {
-		for seed := 0; seed < seeds; seed++ {
-			for _, rushing := range []bool{false, true} {
-				res, err := core.Run(context.Background(), core.Config{
-					Protocol: tc.p, N: tc.n, T: tc.t, Value: ident.V1,
-					Adversary: adversary.Chaos{}, Seed: int64(seed), Rushing: rushing,
-				})
-				if err != nil {
-					t.Fatalf("%s seed=%d rushing=%v: %v", tc.p.Name(), seed, rushing, err)
-				}
-				label := fmt.Sprintf("%s seed=%d rushing=%v", tc.p.Name(), seed, rushing)
-				checkAgreementConditions(t, label, res, ident.V1)
-			}
+	// Flatten (case, seed, rushing) into independent pool jobs.
+	perCase := seeds * 2
+	_, err := runner.Map(context.Background(), runner.New(0), len(cases)*perCase, func(ctx context.Context, i int) (struct{}, error) {
+		tc := cases[i/perCase]
+		seed := (i % perCase) / 2
+		rushing := i%2 == 1
+		res, err := core.Run(ctx, core.Config{
+			Protocol: tc.p, N: tc.n, T: tc.t, Value: ident.V1,
+			Adversary: adversary.Chaos{}, Seed: int64(seed), Rushing: rushing,
+		})
+		if err != nil {
+			return struct{}{}, fmt.Errorf("%s seed=%d rushing=%v: %w", tc.p.Name(), seed, rushing, err)
 		}
+		label := fmt.Sprintf("%s seed=%d rushing=%v", tc.p.Name(), seed, rushing)
+		return struct{}{}, agreementErr(label, res, ident.V1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentRunsIdentical runs the same configuration many times
+// concurrently through the pool (exercising the per-run signature cache and
+// the engine's buffer recycling under -race) and requires every run to
+// produce the identical report — parallel execution must not perturb
+// deterministic runs.
+func TestConcurrentRunsIdentical(t *testing.T) {
+	const copies = 16
+	reports, err := runner.Map(context.Background(), runner.New(8), copies, func(ctx context.Context, i int) (string, error) {
+		res, err := core.Run(ctx, core.Config{
+			Protocol: alg2.Protocol{}, N: 9, T: 4, Value: ident.V1,
+			Adversary: adversary.SplitBrain{LowValue: ident.V0, HighValue: ident.V1, SplitAt: 4},
+			Seed:      7, Rushing: true,
+		})
+		if err != nil {
+			return "", err
+		}
+		return res.Sim.Report.String(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < copies; i++ {
+		if reports[i] != reports[0] {
+			t.Fatalf("run %d diverged:\n%s\nvs\n%s", i, reports[i], reports[0])
+		}
+	}
+	if h := reports[0]; !strings.Contains(h, "sigcache=") {
+		t.Fatalf("report missing sigcache counters: %s", h)
 	}
 }
 

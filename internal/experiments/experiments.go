@@ -13,12 +13,41 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"byzex/internal/adversary"
 	"byzex/internal/core"
 	"byzex/internal/ident"
 	"byzex/internal/protocol"
+	"byzex/internal/runner"
 )
+
+// pool executes the E-table sweeps. Every cell of every sweep is an
+// independent deterministic run, and rows are emitted only after a sweep
+// completes, in submission order — so the rendered tables are byte-identical
+// at any parallelism level.
+var pool atomic.Pointer[runner.Pool]
+
+func init() { pool.Store(runner.New(0)) }
+
+// SetParallelism bounds how many runs the experiment sweeps execute
+// concurrently; n < 1 selects GOMAXPROCS. cmd/baexp wires its -parallel
+// flag here.
+func SetParallelism(n int) { pool.Store(runner.New(n)) }
+
+// Parallelism reports the current sweep concurrency bound.
+func Parallelism() int { return pool.Load().Workers() }
+
+// sweep runs fn over n independent sweep cells on the experiment pool,
+// returning the results in cell order.
+func sweep[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return runner.Map(ctx, pool.Load(), n, fn)
+}
+
+// jobs runs heterogeneous independent steps on the experiment pool.
+func jobs(ctx context.Context, fns ...func(ctx context.Context) error) error {
+	return runner.Run(ctx, pool.Load(), fns...)
+}
 
 // Table is one regenerated evaluation table.
 type Table struct {

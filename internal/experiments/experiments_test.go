@@ -69,6 +69,41 @@ func TestE8(t *testing.T) {
 	}
 }
 
+// TestParallelDeterminism is the tentpole acceptance check: rendering the
+// same experiments at parallelism 1 and 8 must produce byte-identical
+// tables (rows are emitted in submission order after the sweep completes).
+func TestParallelDeterminism(t *testing.T) {
+	defer experiments.SetParallelism(0)
+	funcs := []func(context.Context) (*experiments.Table, error){
+		experiments.E1Alg1, experiments.E2Alg2, experiments.E4Alg4, experiments.E6Theorem1,
+		experiments.E7Unauth, experiments.E8Theorem2,
+	}
+	if !testing.Short() {
+		funcs = append(funcs, experiments.E12MessageSize, experiments.E13Alg5Breakdown)
+	}
+	render := func(par int) string {
+		experiments.SetParallelism(par)
+		if got := experiments.Parallelism(); got != par {
+			t.Fatalf("Parallelism() = %d after SetParallelism(%d)", got, par)
+		}
+		var b strings.Builder
+		for _, f := range funcs {
+			tbl, err := f(context.Background())
+			if err != nil {
+				t.Fatalf("parallel=%d: %v", par, err)
+			}
+			b.WriteString(tbl.Render())
+			b.WriteString(tbl.CSV())
+		}
+		return b.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatal("tables differ between parallelism 1 and 8")
+	}
+}
+
 func TestHeavySweeps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy sweeps skipped in -short mode")

@@ -8,6 +8,7 @@ import (
 	"byzex/internal/core"
 	"byzex/internal/ident"
 	"byzex/internal/lowerbound"
+	"byzex/internal/metrics"
 	"byzex/internal/protocol"
 	"byzex/internal/protocols/alg1"
 	"byzex/internal/protocols/alg2"
@@ -29,19 +30,25 @@ func E1Alg1(ctx context.Context) (*Table, error) {
 		Title:   "Theorem 3 — Algorithm 1 (n=2t+1): messages ≤ 2t²+2t, phases = t+2",
 		Columns: []string{"t", "n", "msgs(worst)", "bound 2t²+2t", "phases", "phase bound t+2"},
 	}
-	for _, t := range []int{1, 2, 4, 8, 16, 32} {
-		n := 2*t + 1
-		msgs, _, phases, err := worstCase(ctx, alg1.Protocol{}, n, t, 1)
-		if err != nil {
-			return nil, err
-		}
+	ts := []int{1, 2, 4, 8, 16, 32}
+	type cell struct{ msgs, phases int }
+	cells, err := sweep(ctx, len(ts), func(ctx context.Context, i int) (cell, error) {
+		t := ts[i]
+		msgs, _, phases, err := worstCase(ctx, alg1.Protocol{}, 2*t+1, t, 1)
+		return cell{msgs, phases}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		t := ts[i]
 		bound := core.Alg1MsgUpperBound(t)
-		tbl.AddRow(t, n, msgs, bound, phases, core.Alg1Phases(t))
-		if msgs > bound {
-			tbl.Violate("t=%d: %d msgs > %d", t, msgs, bound)
+		tbl.AddRow(t, 2*t+1, c.msgs, bound, c.phases, core.Alg1Phases(t))
+		if c.msgs > bound {
+			tbl.Violate("t=%d: %d msgs > %d", t, c.msgs, bound)
 		}
-		if phases != core.Alg1Phases(t) {
-			tbl.Violate("t=%d: phases %d != %d", t, phases, core.Alg1Phases(t))
+		if c.phases != core.Alg1Phases(t) {
+			tbl.Violate("t=%d: phases %d != %d", t, c.phases, core.Alg1Phases(t))
 		}
 	}
 	return tbl, tbl.Err()
@@ -56,13 +63,15 @@ func E2Alg2(ctx context.Context) (*Table, error) {
 		Title:   "Theorem 4 — Algorithm 2 (n=2t+1): messages ≤ 5t²+5t, phases = 3t+3, all hold proofs",
 		Columns: []string{"t", "n", "msgs(worst)", "bound 5t²+5t", "phases", "proofs held", "proof sigs ≥"},
 	}
-	for _, t := range []int{1, 2, 4, 8, 16} {
+	ts := []int{1, 2, 4, 8, 16}
+	type cell struct{ msgs, phases, held, minSigs int }
+	cells, err := sweep(ctx, len(ts), func(ctx context.Context, i int) (cell, error) {
+		t := ts[i]
 		n := 2*t + 1
 		msgs, _, phases, err := worstCase(ctx, alg2.Protocol{}, n, t, 2)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		bound := core.Alg2MsgUpperBound(t)
 
 		// Proof check on a fresh fault-free run.
 		scheme := sig.NewHMAC(n, 99)
@@ -70,7 +79,7 @@ func E2Alg2(ctx context.Context) (*Table, error) {
 			Protocol: alg2.Protocol{}, N: n, T: t, Value: ident.V1, Scheme: scheme,
 		})
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		held, minSigs := 0, -1
 		for _, nd := range res.Nodes {
@@ -90,15 +99,24 @@ func E2Alg2(ctx context.Context) (*Table, error) {
 				minSigs = d
 			}
 		}
-		tbl.AddRow(t, n, msgs, bound, phases, fmt.Sprintf("%d/%d", held, n), minSigs)
-		if msgs > bound {
-			tbl.Violate("t=%d: %d msgs > %d", t, msgs, bound)
+		return cell{msgs, phases, held, minSigs}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		t := ts[i]
+		n := 2*t + 1
+		bound := core.Alg2MsgUpperBound(t)
+		tbl.AddRow(t, n, c.msgs, bound, c.phases, fmt.Sprintf("%d/%d", c.held, n), c.minSigs)
+		if c.msgs > bound {
+			tbl.Violate("t=%d: %d msgs > %d", t, c.msgs, bound)
 		}
-		if held != n {
-			tbl.Violate("t=%d: only %d/%d processors hold proofs", t, held, n)
+		if c.held != n {
+			tbl.Violate("t=%d: only %d/%d processors hold proofs", t, c.held, n)
 		}
-		if phases != core.Alg2Phases(t) {
-			tbl.Violate("t=%d: phases %d != %d", t, phases, core.Alg2Phases(t))
+		if c.phases != core.Alg2Phases(t) {
+			tbl.Violate("t=%d: phases %d != %d", t, c.phases, core.Alg2Phases(t))
 		}
 	}
 	return tbl, tbl.Err()
@@ -118,19 +136,25 @@ func E3Alg3(ctx context.Context) (*Table, error) {
 		cases = append(cases, cfg{256, 4, s})
 	}
 	cases = append(cases, cfg{1024, 8, 32}, cfg{2048, 4, 16}, cfg{512, 2, 8})
-	for _, c := range cases {
+	type cell struct{ msgs, phases int }
+	cells, err := sweep(ctx, len(cases), func(ctx context.Context, i int) (cell, error) {
+		c := cases[i]
 		msgs, _, phases, err := worstCase(ctx, alg3.Protocol{S: c.s}, c.n, c.t, 3)
-		if err != nil {
-			return nil, err
-		}
+		return cell{msgs, phases}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range cells {
+		c := cases[i]
 		bound := core.Alg3MsgUpperBound(c.n, c.t, c.s)
 		pb := core.Alg3Phases(c.t, c.s)
-		tbl.AddRow(c.n, c.t, c.s, msgs, bound, phases, pb)
-		if msgs > bound {
-			tbl.Violate("n=%d t=%d s=%d: %d msgs > %d", c.n, c.t, c.s, msgs, bound)
+		tbl.AddRow(c.n, c.t, c.s, r.msgs, bound, r.phases, pb)
+		if r.msgs > bound {
+			tbl.Violate("n=%d t=%d s=%d: %d msgs > %d", c.n, c.t, c.s, r.msgs, bound)
 		}
-		if phases > pb {
-			tbl.Violate("n=%d t=%d s=%d: phases %d > %d", c.n, c.t, c.s, phases, pb)
+		if r.phases > pb {
+			tbl.Violate("n=%d t=%d s=%d: phases %d > %d", c.n, c.t, c.s, r.phases, pb)
 		}
 	}
 	return tbl, tbl.Err()
@@ -144,7 +168,10 @@ func E4Alg4(ctx context.Context) (*Table, error) {
 		Title:   "Theorem 6 — Algorithm 4 (N=m²): messages ≤ 3(m-1)m², ≥ N-2t mutual exchanges",
 		Columns: []string{"m", "N", "t", "msgs", "bound 3(m-1)m²", "|P| measured", "N-2t"},
 	}
-	for _, m := range []int{3, 4, 6, 8, 12, 16} {
+	ms := []int{3, 4, 6, 8, 12, 16}
+	type cell struct{ msgs, p int }
+	cells, err := sweep(ctx, len(ms), func(ctx context.Context, i int) (cell, error) {
+		m := ms[i]
 		n := m * m
 		t := m / 2
 		faulty := make(ident.Set)
@@ -158,20 +185,26 @@ func E4Alg4(ctx context.Context) (*Table, error) {
 			Scheme: scheme, Adversary: adversary.Silent{}, FaultyOverride: faulty, Seed: 4,
 		})
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		// Measure the mutually-exchanged set: correct processors that
 		// received the signed value of every correct processor whose row
 		// quorum held.
-		p := measureExchangeSet(res, n, m, faulty)
+		return cell{res.Sim.Report.MessagesCorrect, measureExchangeSet(res, n, m, faulty)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		m := ms[i]
+		n, t := m*m, m/2
 		bound := core.Alg4MsgUpperBound(m)
-		msgs := res.Sim.Report.MessagesCorrect
-		tbl.AddRow(m, n, t, msgs, bound, p, n-2*t)
-		if msgs > bound {
-			tbl.Violate("m=%d: %d msgs > %d", m, msgs, bound)
+		tbl.AddRow(m, n, t, c.msgs, bound, c.p, n-2*t)
+		if c.msgs > bound {
+			tbl.Violate("m=%d: %d msgs > %d", m, c.msgs, bound)
 		}
-		if p < n-2*t {
-			tbl.Violate("m=%d: |P| = %d < N-2t = %d", m, p, n-2*t)
+		if c.p < n-2*t {
+			tbl.Violate("m=%d: |P| = %d < N-2t = %d", m, c.p, n-2*t)
 		}
 	}
 	return tbl, tbl.Err()
@@ -235,19 +268,25 @@ func E5Alg5(ctx context.Context) (*Table, error) {
 		{256, 4, 4}, {512, 4, 4},
 		{256, 4, 1}, {256, 4, 8},
 	}
-	for _, c := range cases {
+	type cell struct{ msgs, phases int }
+	cells, err := sweep(ctx, len(cases), func(ctx context.Context, i int) (cell, error) {
+		c := cases[i]
 		msgs, _, phases, err := worstCase(ctx, alg5.Protocol{S: c.s}, c.n, c.t, 5)
-		if err != nil {
-			return nil, err
-		}
+		return cell{msgs, phases}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range cells {
+		c := cases[i]
 		bound := core.Alg5MsgUpperBound(c.n, c.t, c.s)
 		pb := core.Alg5Phases(c.t, c.s)
-		tbl.AddRow(c.n, c.t, c.s, msgs, bound, phases, pb)
-		if msgs > bound {
-			tbl.Violate("n=%d t=%d s=%d: %d msgs > %d", c.n, c.t, c.s, msgs, bound)
+		tbl.AddRow(c.n, c.t, c.s, r.msgs, bound, r.phases, pb)
+		if r.msgs > bound {
+			tbl.Violate("n=%d t=%d s=%d: %d msgs > %d", c.n, c.t, c.s, r.msgs, bound)
 		}
-		if phases > pb {
-			tbl.Violate("n=%d t=%d s=%d: phases %d > %d", c.n, c.t, c.s, phases, pb)
+		if r.phases > pb {
+			tbl.Violate("n=%d t=%d s=%d: phases %d > %d", c.n, c.t, c.s, r.phases, pb)
 		}
 	}
 	return tbl, tbl.Err()
@@ -274,50 +313,78 @@ func E6Theorem1(ctx context.Context) (*Table, error) {
 		{alg3.Protocol{S: 8}, 64, 4},
 		{alg5.Protocol{S: 3}, 64, 3},
 	}
-	for _, c := range cases {
+	type cell struct {
+		audit    *lowerbound.SigAudit
+		most     int
+		attacked bool // replay attack succeeded against the protocol
+	}
+	cells, err := sweep(ctx, len(cases), func(ctx context.Context, i int) (cell, error) {
+		c := cases[i]
 		audit, err := lowerbound.AuditSignatures(ctx, c.p, c.n, c.t, nil)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		most := audit.HSignatures
 		if audit.GSignatures > most {
 			most = audit.GSignatures
 		}
 		_, attErr := lowerbound.ReplayAttack(ctx, c.p, c.n, c.t, nil)
+		return cell{audit: audit, most: most, attacked: attErr == nil}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range cells {
+		c := cases[i]
 		status := "not applicable (bound respected)"
-		if attErr == nil {
+		if r.attacked {
 			status = "BROKE PROTOCOL"
 			tbl.Violate("%s: replay attack applied to a correct protocol", c.p.Name())
 		}
-		tbl.AddRow(c.p.Name(), c.n, c.t, audit.MinAPSize, c.t+1, most, audit.Bound, status)
-		if !audit.Satisfied() {
-			tbl.Violate("%s: min|A(p)| %d < %d", c.p.Name(), audit.MinAPSize, c.t+1)
+		tbl.AddRow(c.p.Name(), c.n, c.t, r.audit.MinAPSize, c.t+1, r.most, r.audit.Bound, status)
+		if !r.audit.Satisfied() {
+			tbl.Violate("%s: min|A(p)| %d < %d", c.p.Name(), r.audit.MinAPSize, c.t+1)
 		}
-		if most < audit.Bound {
-			tbl.Violate("%s: %d sigs < bound %d", c.p.Name(), most, audit.Bound)
+		if r.most < r.audit.Bound {
+			tbl.Violate("%s: %d sigs < bound %d", c.p.Name(), r.most, r.audit.Bound)
 		}
 	}
 	// The strawman undercuts the bound; the attack must break it.
-	for _, c := range []struct{ n, t int }{{9, 3}, {16, 4}} {
+	strawCases := []struct{ n, t int }{{9, 3}, {16, 4}}
+	type strawCell struct {
+		audit     *lowerbound.SigAudit
+		most      int
+		violation string
+		broke     bool
+	}
+	strawCells, err := sweep(ctx, len(strawCases), func(ctx context.Context, i int) (strawCell, error) {
+		c := strawCases[i]
 		out, err := lowerbound.ReplayAttack(ctx, strawman.Broadcast{}, c.n, c.t, nil)
 		if err != nil {
-			return nil, err
-		}
-		status := "survived (UNEXPECTED)"
-		if out.Broke() {
-			status = fmt.Sprintf("broken: %v", out.Violation)
-		} else {
-			tbl.Violate("strawman survived replay at n=%d t=%d", c.n, c.t)
+			return strawCell{}, err
 		}
 		audit, err := lowerbound.AuditSignatures(ctx, strawman.Broadcast{}, c.n, c.t, nil)
 		if err != nil {
-			return nil, err
+			return strawCell{}, err
 		}
 		most := audit.HSignatures
 		if audit.GSignatures > most {
 			most = audit.GSignatures
 		}
-		tbl.AddRow("strawman-broadcast", c.n, c.t, audit.MinAPSize, c.t+1, most, audit.Bound, status)
+		return strawCell{audit: audit, most: most, violation: fmt.Sprint(out.Violation), broke: out.Broke()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range strawCells {
+		c := strawCases[i]
+		status := "survived (UNEXPECTED)"
+		if r.broke {
+			status = "broken: " + r.violation
+		} else {
+			tbl.Violate("strawman survived replay at n=%d t=%d", c.n, c.t)
+		}
+		tbl.AddRow("strawman-broadcast", c.n, c.t, r.audit.MinAPSize, c.t+1, r.most, r.audit.Bound, status)
 	}
 	return tbl, tbl.Err()
 }
@@ -338,15 +405,21 @@ func E7Unauth(ctx context.Context) (*Table, error) {
 		{lsp.Protocol{}, 4, 1}, {lsp.Protocol{}, 7, 2}, {lsp.Protocol{}, 10, 3}, {lsp.Protocol{}, 13, 4},
 		{phaseking.Protocol{}, 5, 1}, {phaseking.Protocol{}, 9, 2}, {phaseking.Protocol{}, 13, 3}, {phaseking.Protocol{}, 21, 5},
 	}
-	for _, c := range rows {
+	type cell struct{ msgs, phases int }
+	cells, err := sweep(ctx, len(rows), func(ctx context.Context, i int) (cell, error) {
+		c := rows[i]
 		msgs, _, phases, err := worstCase(ctx, c.p, c.n, c.t, 7)
-		if err != nil {
-			return nil, err
-		}
+		return cell{msgs, phases}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range cells {
+		c := rows[i]
 		bound := core.MsgLowerBoundUnauth(c.n, c.t)
-		tbl.AddRow(c.p.Name(), c.n, c.t, msgs, bound, phases)
-		if msgs < bound {
-			tbl.Violate("%s n=%d t=%d: %d msgs < lower bound %d", c.p.Name(), c.n, c.t, msgs, bound)
+		tbl.AddRow(c.p.Name(), c.n, c.t, r.msgs, bound, r.phases)
+		if r.msgs < bound {
+			tbl.Violate("%s n=%d t=%d: %d msgs < lower bound %d", c.p.Name(), c.n, c.t, r.msgs, bound)
 		}
 	}
 	return tbl, tbl.Err()
@@ -371,11 +444,29 @@ func E8Theorem2(ctx context.Context) (*Table, error) {
 		{alg2.Protocol{}, 9, 4},
 		{dolevstrong.Protocol{}, 16, 4},
 	}
-	for _, c := range cases {
-		audit, err := lowerbound.StarvationAudit(ctx, c.p, c.n, c.t, nil)
-		if err != nil {
-			return nil, err
-		}
+	// The starvation audits and the omission attack are all independent
+	// runs; the attack is scheduled as one more job alongside the sweep.
+	var out *lowerbound.AttackOutcome
+	audits := make([]*lowerbound.MsgAudit, len(cases))
+	work := make([]func(ctx context.Context) error, 0, len(cases)+1)
+	for i := range cases {
+		i := i
+		work = append(work, func(ctx context.Context) error {
+			audit, err := lowerbound.StarvationAudit(ctx, cases[i].p, cases[i].n, cases[i].t, nil)
+			audits[i] = audit
+			return err
+		})
+	}
+	work = append(work, func(ctx context.Context) error {
+		var err error
+		out, err = lowerbound.OmissionAttack(ctx, strawman.Broadcast{}, 8, 2, nil)
+		return err
+	})
+	if err := jobs(ctx, work...); err != nil {
+		return nil, err
+	}
+	for i, audit := range audits {
+		c := cases[i]
 		tbl.AddRow(c.p.Name(), c.n, c.t, audit.MinReceived, audit.RequiredPerMember, audit.TotalMessages, audit.Bound)
 		if !audit.Satisfied() {
 			tbl.Violate("%s: starved member got %d < %d", c.p.Name(), audit.MinReceived, audit.RequiredPerMember)
@@ -383,10 +474,6 @@ func E8Theorem2(ctx context.Context) (*Table, error) {
 		if audit.TotalMessages < audit.Bound {
 			tbl.Violate("%s: total %d < bound %d", c.p.Name(), audit.TotalMessages, audit.Bound)
 		}
-	}
-	out, err := lowerbound.OmissionAttack(ctx, strawman.Broadcast{}, 8, 2, nil)
-	if err != nil {
-		return nil, err
 	}
 	status := "survived (UNEXPECTED)"
 	if out.Broke() {
@@ -407,16 +494,23 @@ func E9Tradeoff(ctx context.Context) (*Table, error) {
 		Columns: []string{"α", "n", "t", "s", "msgs(worst)", "msgs/n", "phases", "paper phases t+3+t/α"},
 	}
 	n, t := 2048, 8
-	for _, alpha := range []int{1, 2, 4, 8} {
-		s := (t + 2*alpha - 1) / (2 * alpha)
+	alphas := []int{1, 2, 4, 8}
+	type cell struct{ msgs, phases int }
+	cells, err := sweep(ctx, len(alphas), func(ctx context.Context, i int) (cell, error) {
+		s := (t + 2*alphas[i] - 1) / (2 * alphas[i])
 		msgs, _, phases, err := worstCase(ctx, alg3.Protocol{S: s}, n, t, 9)
-		if err != nil {
-			return nil, err
-		}
-		ratio := float64(msgs) / float64(n)
-		tbl.AddRow(alpha, n, t, s, msgs, fmt.Sprintf("%.1f", ratio), phases, core.TradeoffPhases(t, alpha))
-		if msgs > core.Alg3MsgUpperBound(n, t, s) {
-			tbl.Violate("α=%d: %d msgs > Lemma 1 bound", alpha, msgs)
+		return cell{msgs, phases}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range cells {
+		alpha := alphas[i]
+		s := (t + 2*alpha - 1) / (2 * alpha)
+		ratio := float64(r.msgs) / float64(n)
+		tbl.AddRow(alpha, n, t, s, r.msgs, fmt.Sprintf("%.1f", ratio), r.phases, core.TradeoffPhases(t, alpha))
+		if r.msgs > core.Alg3MsgUpperBound(n, t, s) {
+			tbl.Violate("α=%d: %d msgs > Lemma 1 bound", alpha, r.msgs)
 		}
 	}
 	return tbl, tbl.Err()
@@ -432,24 +526,35 @@ func E10Baselines(ctx context.Context) (*Table, error) {
 	}
 	type cfg struct{ n, t int }
 	cases := []cfg{{25, 2}, {64, 3}, {256, 4}, {1024, 4}}
-	for _, c := range cases {
-		protos := []protocol.Protocol{
+	protosFor := func(c cfg) []protocol.Protocol {
+		return []protocol.Protocol{
 			dolevstrong.Protocol{},
 			alg3.Protocol{S: 4 * c.t},
 			alg5.Protocol{S: c.t},
 		}
+	}
+	// Flatten to one job per (case, protocol) cell.
+	const perCase = 3
+	type cell struct{ msgs, sigs, phases int }
+	cells, err := sweep(ctx, len(cases)*perCase, func(ctx context.Context, i int) (cell, error) {
+		c := cases[i/perCase]
+		p := protosFor(c)[i%perCase]
+		msgs, sigs, phases, err := worstCase(ctx, p, c.n, c.t, 10)
+		return cell{msgs, sigs, phases}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range cases {
 		var dsMsgs, alg5Msgs int
-		for _, p := range protos {
-			msgs, sigs, phases, err := worstCase(ctx, p, c.n, c.t, 10)
-			if err != nil {
-				return nil, err
-			}
-			tbl.AddRow(c.n, c.t, p.Name(), msgs, sigs, phases)
+		for pi, p := range protosFor(c) {
+			r := cells[ci*perCase+pi]
+			tbl.AddRow(c.n, c.t, p.Name(), r.msgs, r.sigs, r.phases)
 			switch p.(type) {
 			case dolevstrong.Protocol:
-				dsMsgs = msgs
+				dsMsgs = r.msgs
 			case alg5.Protocol:
-				alg5Msgs = msgs
+				alg5Msgs = r.msgs
 			}
 		}
 		// The paper's headline: for n ≫ t the optimal algorithm sends far
@@ -471,14 +576,51 @@ func E11Ablations(ctx context.Context) (*Table, error) {
 		Title:   "Ablations — proof-of-work gating; relay (Θ(Nt)) vs grid (O(N^1.5)) exchange",
 		Columns: []string{"ablation", "config", "msgs", "comparator", "msgs", "finding"},
 	}
-	// (a) Algorithm 5 with and without the PoW gate.
+	// (a) Algorithm 5 with and without the PoW gate; (b) relay vs grid
+	// exchange across the crossover. Every run is independent, so the gate
+	// pair and the per-crossover-point run pairs all go on the pool at once.
 	const n, t, s = 200, 3, 3
-	gated, _, _, err := worstCase(ctx, alg5.Protocol{S: s}, n, t, 11)
-	if err != nil {
-		return nil, err
+	var gated, ungated int
+	exchangeMsgs := func(ctx context.Context, p protocol.Protocol, nn, tt int) (int, error) {
+		res, err := core.Run(ctx, core.Config{Protocol: p, N: nn, T: tt, Value: ident.V0, Seed: 11})
+		if err != nil {
+			return 0, err
+		}
+		return res.Sim.Report.MessagesCorrect, nil
 	}
-	ungated, _, _, err := worstCase(ctx, alg5.Protocol{S: s, DisablePoW: true}, n, t, 11)
-	if err != nil {
+	crossover := []struct {
+		m, t     int
+		gridWins bool
+	}{
+		{8, 2, false}, {8, 16, true}, {16, 4, false}, {16, 32, true},
+	}
+	gridMsgs := make([]int, len(crossover))
+	relayMsgs := make([]int, len(crossover))
+	work := []func(ctx context.Context) error{
+		func(ctx context.Context) error {
+			var err error
+			gated, _, _, err = worstCase(ctx, alg5.Protocol{S: s}, n, t, 11)
+			return err
+		},
+		func(ctx context.Context) error {
+			var err error
+			ungated, _, _, err = worstCase(ctx, alg5.Protocol{S: s, DisablePoW: true}, n, t, 11)
+			return err
+		},
+	}
+	for i := range crossover {
+		i := i
+		work = append(work, func(ctx context.Context) error {
+			nn := crossover[i].m * crossover[i].m
+			var err error
+			if gridMsgs[i], err = exchangeMsgs(ctx, alg4.Protocol{}, nn, crossover[i].t); err != nil {
+				return err
+			}
+			relayMsgs[i], err = exchangeMsgs(ctx, alg4.RelayProtocol{}, nn, crossover[i].t)
+			return err
+		})
+	}
+	if err := jobs(ctx, work...); err != nil {
 		return nil, err
 	}
 	tbl.AddRow("alg5 PoW gate", fmt.Sprintf("n=%d t=%d s=%d", n, t, s),
@@ -492,35 +634,15 @@ func E11Ablations(ctx context.Context) (*Table, error) {
 	}
 
 	// (b) Relay vs grid exchange across the crossover.
-	exchangeMsgs := func(p protocol.Protocol, nn, tt int) (int, error) {
-		res, err := core.Run(ctx, core.Config{Protocol: p, N: nn, T: tt, Value: ident.V0, Seed: 11})
-		if err != nil {
-			return 0, err
-		}
-		return res.Sim.Report.MessagesCorrect, nil
-	}
-	for _, c := range []struct {
-		m, t     int
-		gridWins bool
-	}{
-		{8, 2, false}, {8, 16, true}, {16, 4, false}, {16, 32, true},
-	} {
+	for i, c := range crossover {
 		nn := c.m * c.m
-		gridMsgs, err := exchangeMsgs(alg4.Protocol{}, nn, c.t)
-		if err != nil {
-			return nil, err
-		}
-		relayMsgs, err := exchangeMsgs(alg4.RelayProtocol{}, nn, c.t)
-		if err != nil {
-			return nil, err
-		}
 		winner := "relay"
-		if gridMsgs < relayMsgs {
+		if gridMsgs[i] < relayMsgs[i] {
 			winner = "grid"
 		}
 		tbl.AddRow("exchange", fmt.Sprintf("N=%d t=%d", nn, c.t),
-			gridMsgs, "relay", relayMsgs, winner+" wins")
-		if (gridMsgs < relayMsgs) != c.gridWins {
+			gridMsgs[i], "relay", relayMsgs[i], winner+" wins")
+		if (gridMsgs[i] < relayMsgs[i]) != c.gridWins {
 			tbl.Violate("N=%d t=%d: crossover on the wrong side", nn, c.t)
 		}
 	}
@@ -544,14 +666,20 @@ func E12MessageSize(ctx context.Context) (*Table, error) {
 		alg3.Protocol{S: 4 * t},
 		alg5.Protocol{S: t},
 	}
-	for _, p := range protos {
+	reports, err := sweep(ctx, len(protos), func(ctx context.Context, i int) (metrics.Report, error) {
 		res, _, err := core.RunAndCheck(ctx, core.Config{
-			Protocol: p, N: n, T: t, Value: ident.V1, Seed: 12,
+			Protocol: protos[i], N: n, T: t, Value: ident.V1, Seed: 12,
 		})
 		if err != nil {
-			return nil, err
+			return metrics.Report{}, err
 		}
-		r := res.Sim.Report
+		return res.Sim.Report, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range protos {
+		r := reports[i]
 		avg := 0
 		if r.MessagesCorrect > 0 {
 			avg = r.BytesCorrect / r.MessagesCorrect
@@ -575,7 +703,7 @@ func E13Alg5Breakdown(ctx context.Context) (*Table, error) {
 	const n, t, s = 200, 3, 3
 	proto := alg5.Protocol{S: s}
 
-	perSegment := func(adv adversary.Adversary, faulty ident.Set) (map[string]int, error) {
+	perSegment := func(ctx context.Context, adv adversary.Adversary, faulty ident.Set) (map[string]int, error) {
 		res, err := core.Run(ctx, core.Config{
 			Protocol: proto, N: n, T: t, Value: ident.V1,
 			Adversary: adv, FaultyOverride: faulty, Seed: 13,
@@ -597,13 +725,33 @@ func E13Alg5Breakdown(ctx context.Context) (*Table, error) {
 		return out, nil
 	}
 
-	clean, err := perSegment(nil, nil)
-	if err != nil {
-		return nil, err
-	}
-	// α = 25 for t=3: passives start at 25; corrupt three tree roots.
-	faulty := ident.NewSet(25, 28, 31)
-	dirty, err := perSegment(adversary.Silent{}, faulty)
+	// The clean run, the faulty-roots run and the sanity re-run are
+	// independent; overlap them on the pool.
+	var (
+		clean, dirty map[string]int
+		runTotal     int
+	)
+	err := jobs(ctx,
+		func(ctx context.Context) error {
+			var err error
+			clean, err = perSegment(ctx, nil, nil)
+			return err
+		},
+		func(ctx context.Context) error {
+			// α = 25 for t=3: passives start at 25; corrupt three tree roots.
+			var err error
+			dirty, err = perSegment(ctx, adversary.Silent{}, ident.NewSet(25, 28, 31))
+			return err
+		},
+		func(ctx context.Context) error {
+			res, err := core.Run(ctx, core.Config{Protocol: proto, N: n, T: t, Value: ident.V1, Seed: 13})
+			if err != nil {
+				return err
+			}
+			runTotal = res.Sim.Report.MessagesCorrect
+			return nil
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -616,12 +764,8 @@ func E13Alg5Breakdown(ctx context.Context) (*Table, error) {
 	for _, v := range clean {
 		sum += v
 	}
-	res, err := core.Run(ctx, core.Config{Protocol: proto, N: n, T: t, Value: ident.V1, Seed: 13})
-	if err != nil {
-		return nil, err
-	}
-	if sum != res.Sim.Report.MessagesCorrect {
-		tbl.Violate("stage totals %d != run total %d", sum, res.Sim.Report.MessagesCorrect)
+	if sum != runTotal {
+		tbl.Violate("stage totals %d != run total %d", sum, runTotal)
 	}
 	return tbl, tbl.Err()
 }
@@ -643,24 +787,26 @@ func E14Scaling(ctx context.Context) (*Table, error) {
 	var firstRatioA3, lastRatioA3 float64
 	var firstRatioDS, lastRatioDS float64
 	ns := []int{64, 128, 256, 512, 1024}
-	for i, n := range ns {
-		var pt point
-		for _, cfg := range []struct {
-			p   protocol.Protocol
-			dst *int
-		}{
-			{dolevstrong.Protocol{}, &pt.ds},
-			{alg3.Protocol{S: 16}, &pt.a3},
-			{alg5.Protocol{S: 4}, &pt.a5},
-		} {
-			res, _, err := core.RunAndCheck(ctx, core.Config{
-				Protocol: cfg.p, N: n, T: t, Value: ident.V1, Seed: 14,
-			})
-			if err != nil {
-				return nil, err
-			}
-			*cfg.dst = res.Sim.Report.MessagesCorrect
+	// One sweep job per (n, protocol) point — 15 independent runs.
+	protosFor := func() []protocol.Protocol {
+		return []protocol.Protocol{dolevstrong.Protocol{}, alg3.Protocol{S: 16}, alg5.Protocol{S: 4}}
+	}
+	const perN = 3
+	msgs, err := sweep(ctx, len(ns)*perN, func(ctx context.Context, i int) (int, error) {
+		n, p := ns[i/perN], protosFor()[i%perN]
+		res, _, err := core.RunAndCheck(ctx, core.Config{
+			Protocol: p, N: n, T: t, Value: ident.V1, Seed: 14,
+		})
+		if err != nil {
+			return 0, err
 		}
+		return res.Sim.Report.MessagesCorrect, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		pt := point{ds: msgs[i*perN], a3: msgs[i*perN+1], a5: msgs[i*perN+2]}
 		rds := float64(pt.ds) / float64(n)
 		ra3 := float64(pt.a3) / float64(n)
 		ra5 := float64(pt.a5) / float64(n)

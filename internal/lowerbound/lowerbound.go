@@ -195,7 +195,12 @@ func outcome(res *core.Result, victim ident.ProcID, txValue ident.Value, transmi
 		first   ident.Value
 		haveAny bool
 	)
-	for id, d := range res.Sim.Decisions {
+	// Walk processors in id order: Decisions is a map, and the violation
+	// message names the first divergent processor, which must not depend on
+	// iteration order.
+	for i := 0; i < len(res.Sim.Decisions); i++ {
+		id := ident.ProcID(i)
+		d := res.Sim.Decisions[id]
 		if res.Faulty.Has(id) {
 			continue
 		}

@@ -90,6 +90,15 @@ type Report struct {
 	Phases int
 	// PerPhase holds counters indexed by phase (index 0 unused).
 	PerPhase []PhaseCounters
+
+	// SigCacheHits counts chain links accepted from the run's
+	// verified-prefix cache; SigCacheMisses counts links that paid a real
+	// cryptographic verification (see sig.CachedVerifier). Their sum is the
+	// number of link checks the run requested; hits are the ones the cache
+	// made free.
+	SigCacheHits int
+	// SigCacheMisses counts cryptographically verified chain links.
+	SigCacheMisses int
 }
 
 func (r *Report) ensurePhase(phase int) {
@@ -106,8 +115,9 @@ func (r Report) SignaturesTotal() int { return r.SignaturesCorrect + r.Signature
 
 // String renders a compact single-line summary.
 func (r Report) String() string {
-	return fmt.Sprintf("phases=%d msgs(correct)=%d msgs(faulty)=%d sigs(correct)=%d bytes=%d maxmsg=%dB",
-		r.Phases, r.MessagesCorrect, r.MessagesFaulty, r.SignaturesCorrect, r.BytesCorrect, r.MaxMessageBytes)
+	return fmt.Sprintf("phases=%d msgs(correct)=%d msgs(faulty)=%d sigs(correct)=%d bytes=%d maxmsg=%dB sigcache=%d/%d",
+		r.Phases, r.MessagesCorrect, r.MessagesFaulty, r.SignaturesCorrect, r.BytesCorrect, r.MaxMessageBytes,
+		r.SigCacheHits, r.SigCacheHits+r.SigCacheMisses)
 }
 
 // Table renders the per-phase counters as an aligned text table.

@@ -1,6 +1,7 @@
 package sig_test
 
 import (
+	"strconv"
 	"testing"
 
 	"byzex/internal/ident"
@@ -86,6 +87,31 @@ func BenchmarkChainVerify(b *testing.B) {
 	}
 }
 
+// BenchmarkChainVerifyCached is the same workload through a CachedVerifier:
+// after the first verification every re-check of the chain is pure hashing
+// against the verified-prefix cache (the path core.Run uses for every node).
+func BenchmarkChainVerifyCached(b *testing.B) {
+	for _, k := range []int{1, 4, 16, 64} {
+		b.Run(name("links", k), func(b *testing.B) {
+			scheme := sig.NewHMAC(k+1, 1)
+			body := sig.ValueBody(ident.V1)
+			var c sig.Chain
+			for i := 0; i < k; i++ {
+				s, _ := scheme.Signer(ident.ProcID(i))
+				c = sig.Append(s, body, c)
+			}
+			cv := sig.NewCachedVerifier(scheme)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Verify(cv, body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkChainAppend(b *testing.B) {
 	scheme := sig.NewHMAC(8, 1)
 	s0, _ := scheme.Signer(0)
@@ -118,14 +144,5 @@ func BenchmarkSignedValueMarshalRoundTrip(b *testing.B) {
 }
 
 func name(k string, v int) string {
-	out := k + "="
-	if v == 0 {
-		return out + "0"
-	}
-	var digits []byte
-	for v > 0 {
-		digits = append([]byte{byte('0' + v%10)}, digits...)
-		v /= 10
-	}
-	return out + string(digits)
+	return k + "=" + strconv.Itoa(v)
 }

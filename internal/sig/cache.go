@@ -1,0 +1,126 @@
+package sig
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// CachedVerifier wraps a Verifier with a verified-prefix cache for signature
+// chains. The paper's relay-style algorithms re-verify a chain on every hop,
+// and since link i signs over links 0..i-1 a chain of length L costs O(L²)
+// signature checks over its lifetime. The cache remembers which exact chain
+// prefixes have already verified over which exact body, so a relayed chain
+// only pays crypto for the links appended since the last time it was seen —
+// O(L) over the chain's lifetime.
+//
+// Soundness. A cache entry is the rolling digest
+//
+//	k₀ = SHA-256(0x00 ‖ body)
+//	kᵢ = SHA-256(0x01 ‖ kᵢ₋₁ ‖ signerᵢ ‖ len(sigᵢ) ‖ sigᵢ)
+//
+// so an entry commits to the body, every signer identity, and every
+// signature's exact bytes — the full signing input of every link in the
+// prefix plus the link's own signature. Tampering with any byte of a cached
+// prefix (a forged or truncated link, a swapped signer, a different body)
+// changes the digest and misses the cache, forcing real cryptographic
+// verification. Equal digests imply (by SHA-256 collision resistance)
+// byte-identical (body, prefix) pairs, for which the verification outcome is
+// identical by determinism of Verify. Only successful verifications are
+// inserted, so the cache can never convert a rejection into an acceptance.
+//
+// The cache is safe for concurrent use; single-signature Verify calls pass
+// through to the wrapped Verifier uncached (hashing the message would cost
+// as much as verifying it).
+type CachedVerifier struct {
+	Verifier
+
+	mu       sync.RWMutex
+	verified map[[sha256.Size]byte]struct{}
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+var _ Verifier = (*CachedVerifier)(nil)
+
+// NewCachedVerifier wraps v with an empty verified-prefix cache. The cache
+// is scoped to v: never reuse a CachedVerifier across signature schemes (two
+// schemes can disagree about the same bytes).
+func NewCachedVerifier(v Verifier) *CachedVerifier {
+	return &CachedVerifier{
+		Verifier: v,
+		verified: make(map[[sha256.Size]byte]struct{}),
+	}
+}
+
+// Stats returns how many chain links were accepted from the cache (hits) and
+// how many were cryptographically verified (misses).
+func (cv *CachedVerifier) Stats() (hits, misses int64) {
+	return cv.hits.Load(), cv.misses.Load()
+}
+
+// prefixKeys returns the rolling digest for every prefix length 1..len(c):
+// keys[i] commits to body and links 0..i.
+func prefixKeys(body []byte, c Chain) [][sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(body)
+	var prev [sha256.Size]byte
+	h.Sum(prev[:0])
+
+	keys := make([][sha256.Size]byte, len(c))
+	var u32 [4]byte
+	for i, l := range c {
+		h.Reset()
+		h.Write([]byte{0x01})
+		h.Write(prev[:])
+		binary.BigEndian.PutUint32(u32[:], uint32(l.Signer))
+		h.Write(u32[:])
+		binary.BigEndian.PutUint32(u32[:], uint32(len(l.Sig)))
+		h.Write(u32[:])
+		h.Write(l.Sig)
+		h.Sum(prev[:0])
+		keys[i] = prev
+	}
+	return keys
+}
+
+// verifyChain checks c over body, skipping the longest prefix already known
+// to verify. Chain.Verify dispatches here when handed a *CachedVerifier.
+func (cv *CachedVerifier) verifyChain(c Chain, body []byte) error {
+	if len(c) == 0 {
+		return nil
+	}
+	keys := prefixKeys(body, c)
+
+	// Longest verified prefix. Insertions are monotone (a prefix is only
+	// inserted after all shorter ones), so scanning from the full length
+	// down and stopping at the first hit is exact.
+	start := 0
+	cv.mu.RLock()
+	for i := len(keys); i >= 1; i-- {
+		if _, ok := cv.verified[keys[i-1]]; ok {
+			start = i
+			break
+		}
+	}
+	cv.mu.RUnlock()
+	cv.hits.Add(int64(start))
+
+	for i := start; i < len(c); i++ {
+		cv.misses.Add(1)
+		if !cv.Verifier.Verify(c[i].Signer, signingInput(body, c[:i]), c[i].Sig) {
+			return linkError(i, c[i].Signer)
+		}
+	}
+	if start < len(c) {
+		cv.mu.Lock()
+		for i := start; i < len(c); i++ {
+			cv.verified[keys[i]] = struct{}{}
+		}
+		cv.mu.Unlock()
+	}
+	return nil
+}

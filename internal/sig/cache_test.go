@@ -1,0 +1,183 @@
+package sig_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"byzex/internal/ident"
+	"byzex/internal/sig"
+)
+
+func buildChain(scheme sig.Scheme, body []byte, links int) sig.Chain {
+	var c sig.Chain
+	for i := 0; i < links; i++ {
+		s, _ := scheme.Signer(ident.ProcID(i))
+		c = sig.Append(s, body, c)
+	}
+	return c
+}
+
+// TestCachedVerifierCounts: the first verification pays one miss per link;
+// re-verifying the same chain is all hits; extending the chain pays only for
+// the new link.
+func TestCachedVerifierCounts(t *testing.T) {
+	scheme := sig.NewHMAC(8, 1)
+	body := sig.ValueBody(ident.V1)
+	c := buildChain(scheme, body, 4)
+	cv := sig.NewCachedVerifier(scheme)
+
+	if err := c.Verify(cv, body); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := cv.Stats(); h != 0 || m != 4 {
+		t.Fatalf("first pass: hits=%d misses=%d, want 0/4", h, m)
+	}
+	if err := c.Verify(cv, body); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := cv.Stats(); h != 4 || m != 4 {
+		t.Fatalf("second pass: hits=%d misses=%d, want 4/4", h, m)
+	}
+
+	s4, _ := scheme.Signer(4)
+	ext := sig.Append(s4, body, c)
+	if err := ext.Verify(cv, body); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := cv.Stats(); h != 8 || m != 5 {
+		t.Fatalf("after extend: hits=%d misses=%d, want 8/5", h, m)
+	}
+}
+
+// TestCachedVerifierRejectsTamperedPrefix is the soundness test: after a
+// chain verifies (and its prefixes are cached), corrupting a link inside the
+// previously-cached prefix must still be rejected — the tampered bytes miss
+// the cache and hit real cryptography.
+func TestCachedVerifierRejectsTamperedPrefix(t *testing.T) {
+	scheme := sig.NewHMAC(8, 1)
+	body := sig.ValueBody(ident.V1)
+	c := buildChain(scheme, body, 4)
+	cv := sig.NewCachedVerifier(scheme)
+	if err := c.Verify(cv, body); err != nil {
+		t.Fatal(err)
+	}
+
+	tamper := func(mutate func(sig.Chain)) sig.Chain {
+		bad := make(sig.Chain, len(c))
+		for i, l := range c {
+			bad[i] = sig.Link{Signer: l.Signer, Sig: append([]byte(nil), l.Sig...)}
+		}
+		mutate(bad)
+		return bad
+	}
+
+	cases := []struct {
+		name string
+		bad  sig.Chain
+	}{
+		{"flip a signature byte in link 1", tamper(func(c sig.Chain) { c[1].Sig[0] ^= 0xff })},
+		{"swap the signer of link 0", tamper(func(c sig.Chain) { c[0].Signer = 5 })},
+		{"truncate link 2's signature", tamper(func(c sig.Chain) { c[2].Sig = c[2].Sig[:len(c[2].Sig)-1] })},
+	}
+	for _, tc := range cases {
+		if err := tc.bad.Verify(cv, body); err == nil {
+			t.Errorf("%s: tampered chain accepted", tc.name)
+		}
+	}
+	// The intact chain still verifies afterwards (rejections poison nothing).
+	if err := c.Verify(cv, body); err != nil {
+		t.Fatalf("intact chain after tamper attempts: %v", err)
+	}
+	// A different body over the same links must also re-verify, not hit.
+	otherBody := sig.ValueBody(ident.V0)
+	if err := c.Verify(cv, otherBody); err == nil {
+		t.Error("chain accepted over a body it never signed")
+	}
+}
+
+// TestCachedVerifierFailedVerifyNotCached: a rejected chain leaves no cache
+// entries behind that could later mask the forgery.
+func TestCachedVerifierFailedVerifyNotCached(t *testing.T) {
+	scheme := sig.NewHMAC(8, 1)
+	body := sig.ValueBody(ident.V1)
+	c := buildChain(scheme, body, 3)
+	bad := make(sig.Chain, len(c))
+	copy(bad, c)
+	bad[0] = sig.Link{Signer: c[0].Signer, Sig: append([]byte(nil), c[0].Sig...)}
+	bad[0].Sig[0] ^= 1
+
+	cv := sig.NewCachedVerifier(scheme)
+	if err := bad.Verify(cv, body); err == nil {
+		t.Fatal("tampered chain accepted cold")
+	}
+	if err := bad.Verify(cv, body); err == nil {
+		t.Fatal("tampered chain accepted on retry")
+	}
+	if h, _ := cv.Stats(); h != 0 {
+		t.Fatalf("rejected chain produced %d cache hits", h)
+	}
+}
+
+// TestCachedVerifierSingleSigPassthrough: plain Verify calls bypass the cache.
+func TestCachedVerifierSingleSigPassthrough(t *testing.T) {
+	scheme := sig.NewHMAC(4, 1)
+	cv := sig.NewCachedVerifier(scheme)
+	signer, _ := scheme.Signer(2)
+	msg := []byte("message")
+	tag := signer.Sign(msg)
+	if !cv.Verify(2, msg, tag) {
+		t.Fatal("valid signature rejected")
+	}
+	if cv.Verify(1, msg, tag) {
+		t.Fatal("signature accepted for the wrong signer")
+	}
+	if h, m := cv.Stats(); h != 0 || m != 0 {
+		t.Fatalf("single-signature Verify touched the chain counters: %d/%d", h, m)
+	}
+}
+
+// TestCachedVerifierConcurrent hammers one shared cache from many goroutines
+// mixing good chains, extensions and forgeries — run under -race this checks
+// the locking; the assertions check that concurrency never changes answers.
+func TestCachedVerifierConcurrent(t *testing.T) {
+	scheme := sig.NewHMAC(16, 1)
+	body := sig.ValueBody(ident.V1)
+	full := buildChain(scheme, body, 12)
+	forged := make(sig.Chain, len(full))
+	for i, l := range full {
+		forged[i] = sig.Link{Signer: l.Signer, Sig: append([]byte(nil), l.Sig...)}
+	}
+	forged[6].Sig[3] ^= 0x40
+
+	cv := sig.NewCachedVerifier(scheme)
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				prefix := full[:1+(g+iter)%len(full)]
+				if err := prefix.Verify(cv, body); err != nil {
+					errc <- err
+					return
+				}
+				if err := forged.Verify(cv, body); err == nil {
+					errc <- errors.New("forged chain accepted")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	h, m := cv.Stats()
+	if h == 0 || m == 0 {
+		t.Fatalf("expected both hits and misses, got %d/%d", h, m)
+	}
+}

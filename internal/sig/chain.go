@@ -57,14 +57,24 @@ func Append(s Signer, body []byte, c Chain) Chain {
 
 // Verify checks every link of the chain cryptographically. It does not
 // impose structural predicates (distinctness, ordering); protocols layer
-// those on top.
+// those on top. When v is a *CachedVerifier, links covered by an
+// already-verified prefix are accepted from the cache (see cache.go for the
+// soundness argument).
 func (c Chain) Verify(v Verifier, body []byte) error {
+	if cv, ok := v.(*CachedVerifier); ok {
+		return cv.verifyChain(c, body)
+	}
 	for i, l := range c {
 		if !v.Verify(l.Signer, signingInput(body, c[:i]), l.Sig) {
-			return fmt.Errorf("%w: link %d signer %v", ErrBadSignature, i, l.Signer)
+			return linkError(i, l.Signer)
 		}
 	}
 	return nil
+}
+
+// linkError reports a failed link verification.
+func linkError(i int, signer ident.ProcID) error {
+	return fmt.Errorf("%w: link %d signer %v", ErrBadSignature, i, signer)
 }
 
 // Signers returns the chain's signer identities in chain order.

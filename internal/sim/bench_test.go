@@ -2,9 +2,12 @@ package sim_test
 
 import (
 	"context"
+	"strconv"
 	"testing"
 
+	"byzex/internal/core"
 	"byzex/internal/ident"
+	"byzex/internal/protocols/dolevstrong"
 	"byzex/internal/sim"
 )
 
@@ -59,11 +62,28 @@ func BenchmarkEngineBroadcast(b *testing.B) {
 	}
 }
 
-func benchName(n int) string {
-	var digits []byte
-	for n > 0 {
-		digits = append([]byte{byte('0' + n%10)}, digits...)
-		n /= 10
+// BenchmarkEngineHotPath exercises the full engine fast path end to end: a
+// fault-free Dolev-Strong run at n=256 (t=4), the configuration dominated by
+// inbox buffering, per-phase context setup and sorted-delivery checks rather
+// than by protocol logic.
+func BenchmarkEngineHotPath(b *testing.B) {
+	const n, t = 256, 4
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(ctx, core.Config{
+			Protocol: dolevstrong.Protocol{}, N: n, T: t, Value: ident.V1, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.Decision(0, ident.V1); err != nil {
+			b.Fatal(err)
+		}
 	}
-	return "n=" + string(digits)
+}
+
+func benchName(n int) string {
+	return "n=" + strconv.Itoa(n)
 }

@@ -71,6 +71,11 @@ type Node interface {
 	// sender. Outgoing messages are submitted through ctx.Send; they will
 	// be delivered at the start of the next phase. The final invocation
 	// (one past the protocol's last phase) is delivery-only: Send fails.
+	//
+	// The inbox slice (like ctx) is only valid for the duration of the
+	// call: the engine recycles the backing array for a later phase's
+	// deliveries. Envelope payloads are never recycled, so copying the
+	// Envelope values (or retaining their Payload slices) is safe.
 	Step(ctx *Context, inbox []Envelope) error
 
 	// Decide returns the node's decision after the run. ok is false if the
@@ -255,8 +260,15 @@ type Engine struct {
 	collector *metrics.Collector
 
 	// pending[to] accumulates messages sent during the current phase for
-	// delivery at the next one.
+	// delivery at the next one. inboxes holds the deliveries of the current
+	// phase; the two swap roles each phase (double-buffer) so slice capacity
+	// is recycled instead of regrown.
 	pending [][]Envelope
+	inboxes [][]Envelope
+
+	// ctxs[id] is processor id's reusable context, re-pointed at the
+	// current phase before each Step instead of allocated per step.
+	ctxs []Context
 }
 
 // New builds an engine over the given nodes; nodes[i] is the state machine
@@ -273,12 +285,26 @@ func New(cfg Config, nodes []Node) (*Engine, error) {
 			return nil, fmt.Errorf("sim: nil node for processor %d", i)
 		}
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:       cfg,
 		nodes:     nodes,
 		collector: metrics.NewCollector(cfg.Faulty),
 		pending:   make([][]Envelope, cfg.N),
-	}, nil
+		inboxes:   make([][]Envelope, cfg.N),
+		ctxs:      make([]Context, cfg.N),
+	}
+	submit := e.submit // one bound method value shared by every context
+	for i := range e.ctxs {
+		e.ctxs[i] = Context{
+			id:          ident.ProcID(i),
+			n:           cfg.N,
+			t:           cfg.T,
+			transmitter: cfg.Transmitter,
+			lastPhase:   cfg.Phases,
+			submit:      submit,
+		}
+	}
+	return e, nil
 }
 
 func (e *Engine) submit(env Envelope) {
@@ -293,40 +319,22 @@ func (e *Engine) submit(env Envelope) {
 // returns the collected decisions and metrics. ctx cancellation aborts
 // between phases.
 func (e *Engine) Run(ctx context.Context) (*Result, error) {
-	inboxes := make([][]Envelope, e.cfg.N)
 	for phase := 1; phase <= e.cfg.Phases+1; phase++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("sim: aborted at phase %d: %w", phase, err)
 		}
 		// Swap pending into inboxes; messages sent this phase accumulate
-		// into fresh pending slices.
-		for to := range inboxes {
-			inboxes[to] = e.pending[to]
-			e.pending[to] = nil
-			sortInbox(inboxes[to])
-		}
-		step := func(id int, extra []Envelope) error {
-			nctx := &Context{
-				id:          ident.ProcID(id),
-				n:           e.cfg.N,
-				t:           e.cfg.T,
-				transmitter: e.cfg.Transmitter,
-				phase:       phase,
-				lastPhase:   e.cfg.Phases,
-				submit:      e.submit,
-			}
-			inbox := inboxes[id]
-			if len(extra) > 0 {
-				inbox = append(append([]Envelope(nil), inbox...), extra...)
-			}
-			if err := e.nodes[id].Step(nctx, inbox); err != nil {
-				return fmt.Errorf("sim: processor %d failed at phase %d: %w", id, phase, err)
-			}
-			return nil
+		// into the recycled slices of the previous phase's inboxes (their
+		// contents were delivered last phase and the Node contract forbids
+		// retaining the inbox array beyond Step).
+		e.inboxes, e.pending = e.pending, e.inboxes
+		for to := range e.pending {
+			e.pending[to] = e.pending[to][:0]
+			sortInbox(e.inboxes[to])
 		}
 		if !e.cfg.Rushing {
 			for id := 0; id < e.cfg.N; id++ {
-				if err := step(id, nil); err != nil {
+				if err := e.step(id, phase, nil); err != nil {
 					return nil, err
 				}
 			}
@@ -336,15 +344,22 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 			// to them before sending.
 			for id := 0; id < e.cfg.N; id++ {
 				if !e.cfg.Faulty.Has(ident.ProcID(id)) {
-					if err := step(id, nil); err != nil {
+					if err := e.step(id, phase, nil); err != nil {
 						return nil, err
 					}
 				}
 			}
 			for id := 0; id < e.cfg.N; id++ {
 				if e.cfg.Faulty.Has(ident.ProcID(id)) {
-					peek := e.pending[id]
-					if err := step(id, peek); err != nil {
+					// Deep-clone the peeked envelopes: pending still feeds
+					// correct inboxes next phase, and a mutating adversary
+					// must not be able to corrupt them through shared
+					// Payload/Signers backing arrays.
+					peek := make([]Envelope, len(e.pending[id]))
+					for i, env := range e.pending[id] {
+						peek[i] = env.Clone()
+					}
+					if err := e.step(id, phase, peek); err != nil {
 						return nil, err
 					}
 				}
@@ -364,8 +379,31 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 	return res, nil
 }
 
+// step advances processor id through one phase. extra (rushing only) is
+// appended to the delivered inbox without disturbing it.
+func (e *Engine) step(id, phase int, extra []Envelope) error {
+	nctx := &e.ctxs[id]
+	nctx.phase = phase
+	inbox := e.inboxes[id]
+	if len(extra) > 0 {
+		inbox = append(append(make([]Envelope, 0, len(inbox)+len(extra)), inbox...), extra...)
+	}
+	if err := e.nodes[id].Step(nctx, inbox); err != nil {
+		return fmt.Errorf("sim: processor %d failed at phase %d: %w", id, phase, err)
+	}
+	return nil
+}
+
 // sortInbox orders an inbox by sender id, preserving the submission order of
-// messages from the same sender (stable).
+// messages from the same sender (stable). Nodes are stepped in identity
+// order, so inboxes usually arrive already sender-sorted (rushing and
+// send-to-self-audience adversaries are the exceptions); an O(len) order
+// check skips the sort machinery on that fast path.
 func sortInbox(in []Envelope) {
-	sort.SliceStable(in, func(i, j int) bool { return in[i].From < in[j].From })
+	for i := 1; i < len(in); i++ {
+		if in[i].From < in[i-1].From {
+			sort.SliceStable(in, func(i, j int) bool { return in[i].From < in[j].From })
+			return
+		}
+	}
 }
