@@ -1,13 +1,15 @@
 # byzex build / verification entry points.
 #
-#   make check   - tier-1 gate: build everything, vet, full test suite under -race
-#   make bench   - tier-1 benchmarks; archives machine-readable results in BENCH_001.json
-#   make test    - plain test run (no race detector)
-#   make baexp   - regenerate every evaluation table
+#   make check       - tier-1 gate: build everything, vet, full test suite under -race
+#   make bench       - tier-1 benchmarks; archives machine-readable results in BENCH_001.json
+#   make bench-trace - tracing-overhead benchmark; archives results in BENCH_002.json
+#   make test        - plain test run (no race detector)
+#   make baexp       - regenerate every evaluation table
+#   make trace-smoke - end-to-end trace pipeline check (basim -trace → batrace)
 
 GO ?= go
 
-.PHONY: check test bench baexp
+.PHONY: check test bench bench-trace baexp trace-smoke
 
 check:
 	$(GO) build ./...
@@ -29,5 +31,25 @@ bench:
 	  $(GO) test -bench 'BenchmarkChainVerify' -benchmem -run '^$$' ./internal/sig/ ; } \
 	| /tmp/benchjson -label current -baseline BENCH_BASELINE.json > BENCH_001.json
 
+# Tracing overhead, archived separately from the engine baseline: the
+# disabled case must track BenchmarkEngineBroadcast/n=64, and allocs/op must
+# be identical across disabled/nop/ring (the no-op sink path adds zero
+# allocations).
+bench-trace:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -bench 'BenchmarkTraceOverhead' -benchtime=20x -benchmem -run '^$$' ./internal/sim/ \
+	| /tmp/benchjson -label current > BENCH_002.json
+
 baexp:
 	$(GO) run ./cmd/baexp
+
+# End-to-end smoke of the trace pipeline: run basim with -trace (which
+# itself fails if the trace disagrees with metrics.Report), then parse and
+# summarize the JSONL with batrace. Exercises both transports.
+trace-smoke:
+	$(GO) build -o /tmp/basim ./cmd/basim
+	$(GO) build -o /tmp/batrace ./cmd/batrace
+	/tmp/basim -protocol alg1 -t 3 -adversary split-brain -trace /tmp/byzex-smoke-mem.jsonl
+	/tmp/batrace -counts /tmp/byzex-smoke-mem.jsonl
+	/tmp/basim -protocol dolev-strong -n 8 -t 2 -transport tcp -adversary silent -trace /tmp/byzex-smoke-tcp.jsonl
+	/tmp/batrace /tmp/byzex-smoke-tcp.jsonl

@@ -22,6 +22,7 @@ import (
 	"byzex/internal/cli"
 	"byzex/internal/ident"
 	"byzex/internal/lowerbound"
+	"byzex/internal/trace"
 )
 
 func main() {
@@ -31,6 +32,9 @@ func main() {
 		n         = flag.Int("n", 0, "number of processors (default 2t+1)")
 		t         = flag.Int("t", 3, "fault bound")
 		s         = flag.Int("s", 0, "parameter for alg3/alg5 (default t)")
+		tracePath = flag.String("trace", "", "write the execution trace of the attack's runs (JSONL) to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 	if *n == 0 {
@@ -45,7 +49,34 @@ func main() {
 		fail(err)
 	}
 
+	prof, err := cli.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fail(err)
+		}
+	}()
+
 	ctx := context.Background()
+	// The attacks drive core.Run internally; a sink on the context reaches
+	// every one of those runs without lowerbound needing trace plumbing.
+	var traceSink *trace.JSONL
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		defer func() { _ = f.Close() }()
+		traceSink = trace.NewJSONL(f)
+		defer func() {
+			if err := traceSink.Flush(); err != nil {
+				fail(err)
+			}
+		}()
+		ctx = trace.NewContext(ctx, traceSink)
+	}
 	switch *attack {
 	case "audit":
 		audit, err := lowerbound.AuditSignatures(ctx, proto, *n, *t, nil)

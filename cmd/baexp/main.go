@@ -18,7 +18,9 @@ import (
 	"runtime"
 	"strings"
 
+	"byzex/internal/cli"
 	"byzex/internal/experiments"
+	"byzex/internal/trace"
 )
 
 func main() {
@@ -26,9 +28,45 @@ func main() {
 	format := flag.String("format", "text", "output format: text|csv")
 	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"max concurrent runs per experiment sweep (tables are byte-identical at any value)")
+	tracePath := flag.String("trace", "",
+		"write the merged execution trace of all sweep runs (JSONL) to this file; merged in cell order, so byte-identical at any -parallel value")
+	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallel)
+
+	prof, err := cli.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var traceSink *trace.JSONL
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() { _ = f.Close() }()
+		traceSink = trace.NewJSONL(f)
+		experiments.SetTrace(traceSink)
+	}
+	finish := func(code int) {
+		if traceSink != nil {
+			if err := traceSink.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				code = 1
+			}
+		}
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+		if code != 0 {
+			os.Exit(code)
+		}
+	}
 
 	ctx := context.Background()
 	funcs := map[string]func(context.Context) (*experiments.Table, error){
@@ -48,12 +86,11 @@ func main() {
 		"E14": experiments.E14Scaling,
 	}
 
-	failed := false
 	if *only != "" {
 		f, ok := funcs[strings.ToUpper(*only)]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
-			os.Exit(2)
+			finish(2)
 		}
 		tbl, err := f(ctx)
 		if tbl != nil {
@@ -61,8 +98,9 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			finish(1)
 		}
+		finish(0)
 		return
 	}
 
@@ -72,11 +110,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		failed = true
+		finish(1)
 	}
-	if failed {
-		os.Exit(1)
-	}
+	finish(0)
 }
 
 // render formats a table per the -format flag.

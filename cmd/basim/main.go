@@ -21,6 +21,8 @@ import (
 	"byzex/internal/cli"
 	"byzex/internal/core"
 	"byzex/internal/ident"
+	"byzex/internal/metrics"
+	"byzex/internal/trace"
 	"byzex/internal/transport"
 )
 
@@ -37,6 +39,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		verbose   = flag.Bool("v", false, "print per-phase message counts")
 		dump      = flag.String("dump", "", "write the full message transcript (JSON) to this file (memory transport only)")
+		tracePath = flag.String("trace", "", "write the structured execution trace (JSONL) to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -58,18 +63,37 @@ func main() {
 		fail(err)
 	}
 
+	prof, err := cli.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fail(err)
+	}
+	// sink stays a nil interface when tracing is off — assigning a nil
+	// *trace.Buffer directly into core.Config.Trace would defeat the
+	// producers' nil checks.
+	var (
+		traceBuf *trace.Buffer
+		sink     trace.Sink
+	)
+	if *tracePath != "" {
+		traceBuf = trace.NewBuffer()
+		sink = traceBuf
+	}
+
 	ctx := context.Background()
 	start := time.Now()
+	var report metrics.Report
 
 	switch *trans {
 	case "memory":
 		res, err := core.Run(ctx, core.Config{
 			Protocol: proto, N: *n, T: *t, Value: ident.Value(*value),
 			Scheme: scheme, Adversary: adv, Seed: *seed, Record: *dump != "",
+			Trace: sink,
 		})
 		if err != nil {
 			fail(err)
 		}
+		report = res.Sim.Report
 		printOutcome(res.Faulty, decisions(res), res.Sim.Report.String(), ident.Value(*value))
 		if *verbose {
 			fmt.Print(res.Sim.Report.Table())
@@ -88,17 +112,15 @@ func main() {
 			fmt.Printf("transcript: %s (%d phases)\n", *dump, res.History.NumPhases())
 		}
 	case "tcp":
-		var faulty ident.Set
-		if adv != nil {
-			faulty = adv.Corrupt(*n, *t, 0, nil)
-		}
-		res, err := transport.Run(ctx, transport.Config{
+		res, err := transport.RunCluster(ctx, core.Config{
 			Protocol: proto, N: *n, T: *t, Value: ident.Value(*value),
-			Scheme: scheme, Adversary: adv, Faulty: faulty, Seed: *seed,
-		})
+			Scheme: scheme, Adversary: adv, Seed: *seed,
+			Trace: sink,
+		}, transport.Net{})
 		if err != nil {
 			fail(err)
 		}
+		report = res.Report
 		dec := make(map[ident.ProcID]string, len(res.Decisions))
 		for id, d := range res.Decisions {
 			dec[id] = fmt.Sprint(d.Value)
@@ -107,7 +129,42 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown transport %q", *trans))
 	}
+
+	if traceBuf != nil {
+		if err := writeTrace(*tracePath, traceBuf, report, *verbose); err != nil {
+			fail(err)
+		}
+	}
+	if err := prof.Stop(); err != nil {
+		fail(err)
+	}
 	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeTrace persists the trace as JSONL and cross-checks its per-phase
+// attribution against the run's metrics — a trace that disagrees with the
+// collector means the instrumentation drifted and is an error, not output.
+func writeTrace(path string, buf *trace.Buffer, report metrics.Report, verbose bool) error {
+	sum := trace.Summarize(buf.Events())
+	if err := sum.CheckReport(report); err != nil {
+		return fmt.Errorf("trace disagrees with metrics: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSONL(f, buf.Events()); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %s (%d events, consistent with metrics)\n", path, buf.Len())
+	if verbose {
+		fmt.Print(sum.Table())
+	}
+	return nil
 }
 
 func decisions(res *core.Result) map[ident.ProcID]string {

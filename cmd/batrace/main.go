@@ -1,0 +1,62 @@
+// Command batrace validates and summarizes a structured execution trace
+// written by `basim -trace`, `baexp -trace` or `baattack -trace`: it parses
+// the JSONL stream (rejecting malformed lines and unknown event kinds) and
+// prints the per-phase message/signature attribution table.
+//
+// Usage:
+//
+//	basim -protocol alg1 -t 4 -trace run.jsonl
+//	batrace run.jsonl
+//	batrace -counts run.jsonl   # also print per-kind event counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"byzex/internal/trace"
+)
+
+func main() {
+	counts := flag.Bool("counts", false, "print per-kind event counts")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: batrace [-counts] <trace.jsonl>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	events, err := trace.ReadJSONL(f)
+	_ = f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%s: %d events\n", path, len(events))
+	if *counts {
+		byKind := make(map[string]int)
+		for _, e := range events {
+			byKind[e.Kind.String()]++
+		}
+		names := make([]string, 0, len(byKind))
+		for name := range byKind {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-12s %d\n", name, byKind[name])
+		}
+	}
+	fmt.Print(trace.Summarize(events).Table())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -23,15 +24,28 @@ import (
 	"byzex/internal/sig"
 )
 
+// ErrBadParams reports numeric parameters outside their valid range.
+var ErrBadParams = errors.New("cli: bad parameters")
+
 // Params carries the numeric knobs some constructors need.
 type Params struct {
-	N, T, S int
+	// N and T are the system size and fault bound.
+	N, T int
+	// S is the signature-count threshold used by the threshold protocols
+	// (alg3, alg5). Zero means "default to T" — the paper's canonical
+	// choice — with a floor of 1; negative values are rejected with
+	// ErrBadParams.
+	S int
 	// Seed drives deterministic scheme generation.
 	Seed int64
 }
 
-// Protocol resolves a protocol name. S defaults to T when zero.
+// Protocol resolves a protocol name. S defaults to T when zero (floor 1);
+// negative S is rejected with ErrBadParams.
 func Protocol(name string, p Params) (protocol.Protocol, error) {
+	if p.S < 0 {
+		return nil, fmt.Errorf("%w: S=%d (must be >= 0; 0 means default to T)", ErrBadParams, p.S)
+	}
 	s := p.S
 	if s == 0 {
 		s = p.T
@@ -75,6 +89,22 @@ func Protocol(name string, p Params) (protocol.Protocol, error) {
 	default:
 		return nil, fmt.Errorf("cli: unknown protocol %q (known: %v)", name, ProtocolNames())
 	}
+}
+
+// Protocols resolves every recognized protocol name against p, keyed by
+// name. Conformance tests use this to sweep the full protocol registry
+// without hard-coding the name list; iterate ProtocolNames() for a
+// deterministic order.
+func Protocols(p Params) (map[string]protocol.Protocol, error) {
+	out := make(map[string]protocol.Protocol)
+	for _, name := range ProtocolNames() {
+		proto, err := Protocol(name, p)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = proto
+	}
+	return out, nil
 }
 
 // ProtocolNames lists the recognized protocol names, sorted.

@@ -2,11 +2,14 @@ package cli_test
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"byzex/internal/cli"
 	"byzex/internal/core"
 	"byzex/internal/ident"
+	"byzex/internal/protocols/alg3"
+	"byzex/internal/protocols/alg5"
 )
 
 func TestEveryProtocolNameResolvesAndRuns(t *testing.T) {
@@ -63,6 +66,64 @@ func TestEveryProtocolNameResolvesAndRuns(t *testing.T) {
 				t.Errorf("%s: %v", name, err)
 			}
 		}
+	}
+}
+
+func TestSParameterDefaulting(t *testing.T) {
+	cases := []struct {
+		name    string
+		params  cli.Params
+		wantS   int
+		wantErr bool
+	}{
+		{"zero-defaults-to-T", cli.Params{N: 12, T: 4, S: 0}, 4, false},
+		{"zero-with-zero-T-floors-to-1", cli.Params{N: 5, T: 0, S: 0}, 1, false},
+		{"explicit-wins", cli.Params{N: 12, T: 4, S: 7}, 7, false},
+		{"explicit-one", cli.Params{N: 12, T: 4, S: 1}, 1, false},
+		{"negative-rejected", cli.Params{N: 12, T: 4, S: -1}, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			proto, err := cli.Protocol("alg3", tc.params)
+			if tc.wantErr {
+				if !errors.Is(err, cli.ErrBadParams) {
+					t.Fatalf("err = %v, want ErrBadParams", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := proto.(alg3.Protocol).S; got != tc.wantS {
+				t.Fatalf("resolved S = %d, want %d", got, tc.wantS)
+			}
+			// The same resolution must apply to alg5.
+			p5, err := cli.Protocol("alg5", tc.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := p5.(alg5.Protocol).S; got != tc.wantS {
+				t.Fatalf("alg5 resolved S = %d, want %d", got, tc.wantS)
+			}
+		})
+	}
+}
+
+func TestProtocolsResolvesFullRegistry(t *testing.T) {
+	protos, err := cli.Protocols(cli.Params{N: 9, T: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(protos) != len(cli.ProtocolNames()) {
+		t.Fatalf("Protocols() has %d entries, names list %d", len(protos), len(cli.ProtocolNames()))
+	}
+	for _, name := range cli.ProtocolNames() {
+		if protos[name] == nil {
+			t.Fatalf("Protocols() missing %q", name)
+		}
+	}
+	if _, err := cli.Protocols(cli.Params{N: 9, T: 2, S: -3}); !errors.Is(err, cli.ErrBadParams) {
+		t.Fatalf("Protocols with bad S: err = %v, want ErrBadParams", err)
 	}
 }
 

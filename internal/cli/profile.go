@@ -1,0 +1,69 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler drives the pprof flags (-cpuprofile / -memprofile) shared by the
+// CLI tools: StartProfiles begins CPU profiling immediately, Stop finalizes
+// the CPU profile and snapshots the heap. Both paths are optional (empty
+// string disables).
+type Profiler struct {
+	cpu     *os.File
+	memPath string
+}
+
+// StartProfiles starts CPU profiling to cpuPath and remembers memPath for
+// the heap snapshot Stop will take. A nil Profiler is returned (with no
+// error) when both paths are empty, and Stop on it is a no-op.
+func StartProfiles(cpuPath, memPath string) (*Profiler, error) {
+	if cpuPath == "" && memPath == "" {
+		return nil, nil
+	}
+	p := &Profiler{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cli: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("cli: cpu profile: %w", err)
+		}
+		p.cpu = f
+	}
+	return p, nil
+}
+
+// Stop finalizes the CPU profile (if one was started) and writes a heap
+// profile (if a path was given). Safe on a nil receiver.
+func (p *Profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			return fmt.Errorf("cli: cpu profile: %w", err)
+		}
+		p.cpu = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			return fmt.Errorf("cli: mem profile: %w", err)
+		}
+		runtime.GC() // settle the heap so the snapshot reflects live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("cli: mem profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("cli: mem profile: %w", err)
+		}
+	}
+	return nil
+}

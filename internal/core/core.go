@@ -4,6 +4,12 @@
 // and exposes the closed-form bounds proved by the paper so callers
 // (benchmarks, experiments, tests) can compare measured counts against them.
 //
+// Config is also the unified run description shared with the TCP transport:
+// package transport consumes the same struct (via transport.RunCluster) and
+// reuses NewSetup and CheckDecisions from here, so the two substrates cannot
+// drift in how they default schemes, resolve faulty sets, build nodes or
+// judge agreement.
+//
 // Byzantine Agreement (paper, Section 1):
 //
 //	(i)  all correctly operating processors agree on the same value;
@@ -22,6 +28,7 @@ import (
 	"byzex/internal/protocol"
 	"byzex/internal/sig"
 	"byzex/internal/sim"
+	"byzex/internal/trace"
 )
 
 // Agreement violation errors.
@@ -58,6 +65,10 @@ type Config struct {
 	Record bool
 	// Rushing grants the adversary the rushing power (see sim.Config).
 	Rushing bool
+	// Trace receives structured execution events (see package trace). When
+	// nil, Run falls back to the sink carried by the context (if any), so
+	// orchestration layers can inject per-worker sinks without plumbing.
+	Trace trace.Sink
 }
 
 // Result is the outcome of a Run.
@@ -80,12 +91,21 @@ type Result struct {
 // agreement violation error. transmitterValue is used for condition (ii)
 // when the transmitter was correct.
 func (r *Result) Decision(transmitter ident.ProcID, transmitterValue ident.Value) (ident.Value, error) {
+	return CheckDecisions(r.Sim.Decisions, r.Faulty, transmitter, transmitterValue)
+}
+
+// CheckDecisions verifies both Byzantine Agreement conditions over a raw
+// decision map and returns the common decision. It is the single agreement
+// judge shared by the in-memory engine, the TCP transport and the
+// experiment sweeps: condition (i) is always checked; condition (ii) only
+// when the transmitter is outside the faulty set.
+func CheckDecisions(decisions map[ident.ProcID]sim.Decision, faulty ident.Set, transmitter ident.ProcID, transmitterValue ident.Value) (ident.Value, error) {
 	var (
 		got     ident.Value
 		haveAny bool
 	)
-	for id, d := range r.Sim.Decisions {
-		if r.Faulty.Has(id) {
+	for id, d := range decisions {
+		if faulty.Has(id) {
 			continue
 		}
 		if !d.Decided {
@@ -102,14 +122,39 @@ func (r *Result) Decision(transmitter ident.ProcID, transmitterValue ident.Value
 	if !haveAny {
 		return 0, fmt.Errorf("%w: no correct processors", ErrNoDecision)
 	}
-	if !r.Faulty.Has(transmitter) && got != transmitterValue {
+	if !faulty.Has(transmitter) && got != transmitterValue {
 		return 0, fmt.Errorf("%w: decided %v, transmitter sent %v", ErrValidity, got, transmitterValue)
 	}
 	return got, nil
 }
 
-// Run executes the configured protocol instance to completion.
-func Run(ctx context.Context, cfg Config) (*Result, error) {
+// Setup is the prepared state of a run: defaults resolved, faulty set
+// chosen, state machines built. It is produced by NewSetup and consumed by
+// both execution substrates — Run hands the nodes to the in-memory engine,
+// transport.RunCluster hands them to TCP peers.
+type Setup struct {
+	// Scheme is the resolved signature scheme (defaulted when Config left
+	// it nil).
+	Scheme sig.Scheme
+	// Verifier is the per-run verified-prefix cache every node verifies
+	// through. It is safe for concurrent use, so the TCP transport shares
+	// it across peer goroutines just as the engine shares it across nodes.
+	Verifier *sig.CachedVerifier
+	// Faulty is the resolved corrupted set.
+	Faulty ident.Set
+	// Phases is the protocol's phase schedule for (n, t).
+	Phases int
+	// Nodes are the per-processor state machines (adversary nodes for
+	// corrupted processors, protocol nodes otherwise).
+	Nodes []sim.Node
+}
+
+// NewSetup validates cfg, resolves defaults (scheme, faulty set) and builds
+// the node set — everything a substrate needs before it starts delivering
+// messages. Both Run and transport.RunCluster go through here, so scheme
+// defaulting, corruption choice and node construction cannot diverge
+// between the in-memory engine and the TCP cluster.
+func NewSetup(cfg Config) (*Setup, error) {
 	if cfg.Protocol == nil {
 		return nil, errors.New("core: nil protocol")
 	}
@@ -146,8 +191,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	// All nodes verify through one per-run verified-prefix cache: a relayed
 	// chain pays cryptography only for links not already checked this run
 	// (sound because cache keys commit to the full signing input; see
-	// sig.CachedVerifier). Sharing across nodes is free in the simulation —
-	// verification is objective and the engine is single-threaded.
+	// sig.CachedVerifier). Sharing across nodes is free — verification is
+	// objective, and the cache is safe for the TCP transport's concurrency.
 	verifier := sig.NewCachedVerifier(scheme)
 
 	// Build the node set: protocol nodes for correct processors, adversary
@@ -168,7 +213,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			Signer:      signer,
 			Verifier:    verifier,
 		}
-		if faulty.Has(id) {
+		if faulty.Has(id) && env != nil {
 			nodes[i], err = cfg.Adversary.NewNode(ncfg, env)
 		} else {
 			nodes[i], err = cfg.Protocol.NewNode(ncfg)
@@ -177,22 +222,55 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("core: building node %v: %w", id, err)
 		}
 	}
+	return &Setup{Scheme: scheme, Verifier: verifier, Faulty: faulty, Phases: phases, Nodes: nodes}, nil
+}
+
+// ResolveTrace returns the sink a run should emit to: the explicitly
+// configured one, else the sink carried by ctx, else nil (disabled).
+func (c Config) ResolveTrace(ctx context.Context) trace.Sink {
+	if c.Trace != nil {
+		return c.Trace
+	}
+	return trace.FromContext(ctx)
+}
+
+// EmitCorruptions reports the faulty set to sink in ascending id order
+// (no-op for a nil sink).
+func EmitCorruptions(sink trace.Sink, faulty ident.Set) {
+	if sink == nil || faulty.Len() == 0 {
+		return
+	}
+	for _, id := range faulty.Sorted() {
+		sink.Emit(trace.Event{Kind: trace.KindCorrupt, From: id, To: ident.None})
+	}
+}
+
+// Run executes the configured protocol instance to completion.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	setup, err := NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sink := cfg.ResolveTrace(ctx)
+	EmitCorruptions(sink, setup.Faulty)
+	setup.Verifier.SetTrace(sink)
 
 	simCfg := sim.Config{
 		N:           cfg.N,
 		T:           cfg.T,
 		Transmitter: cfg.Transmitter,
-		Phases:      phases,
-		Faulty:      faulty,
+		Phases:      setup.Phases,
+		Faulty:      setup.Faulty,
 		Rushing:     cfg.Rushing,
+		Trace:       sink,
 	}
 	var rec *history.Recorder
 	if cfg.Record {
-		rec = history.NewRecorder(cfg.N, cfg.Transmitter, cfg.Value, faulty)
+		rec = history.NewRecorder(cfg.N, cfg.Transmitter, cfg.Value, setup.Faulty)
 		simCfg.Observers = append(simCfg.Observers, rec)
 	}
 
-	eng, err := sim.New(simCfg, nodes)
+	eng, err := sim.New(simCfg, setup.Nodes)
 	if err != nil {
 		return nil, err
 	}
@@ -200,10 +278,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	hits, misses := verifier.Stats()
+	hits, misses := setup.Verifier.Stats()
 	res.Report.SigCacheHits = int(hits)
 	res.Report.SigCacheMisses = int(misses)
-	out := &Result{Sim: res, Faulty: faulty, Phases: phases, Nodes: nodes}
+	out := &Result{Sim: res, Faulty: setup.Faulty, Phases: setup.Phases, Nodes: setup.Nodes}
 	if rec != nil {
 		out.History = rec.History()
 	}

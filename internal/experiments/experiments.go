@@ -20,6 +20,7 @@ import (
 	"byzex/internal/ident"
 	"byzex/internal/protocol"
 	"byzex/internal/runner"
+	"byzex/internal/trace"
 )
 
 // pool executes the E-table sweeps. Every cell of every sweep is an
@@ -38,15 +39,70 @@ func SetParallelism(n int) { pool.Store(runner.New(n)) }
 // Parallelism reports the current sweep concurrency bound.
 func Parallelism() int { return pool.Load().Workers() }
 
-// sweep runs fn over n independent sweep cells on the experiment pool,
-// returning the results in cell order.
-func sweep[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
-	return runner.Map(ctx, pool.Load(), n, fn)
+// sinkBox wraps the experiment-wide trace sink for atomic swapping (an
+// interface value cannot be stored in an atomic.Pointer directly).
+type sinkBox struct{ s trace.Sink }
+
+var traceDst atomic.Pointer[sinkBox]
+
+// SetTrace routes execution traces from every run inside the experiment
+// sweeps to s (nil disables). Each sweep cell records into a private
+// trace.Buffer carried by its context — core.Run picks it up via
+// trace.FromContext — and the buffers are drained into s in cell-submission
+// order after the sweep joins. The merged stream is therefore
+// byte-identical at any parallelism level, and s itself is only ever
+// emitted to from one goroutine at a time.
+func SetTrace(s trace.Sink) { traceDst.Store(&sinkBox{s: s}) }
+
+func traceSink() trace.Sink {
+	if b := traceDst.Load(); b != nil {
+		return b.s
+	}
+	return nil
 }
 
-// jobs runs heterogeneous independent steps on the experiment pool.
+// sweep runs fn over n independent sweep cells on the experiment pool,
+// returning the results in cell order. When an experiment trace sink is
+// installed, each cell's events are buffered and merged in cell order.
+func sweep[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	sink := traceSink()
+	if sink == nil {
+		return runner.Map(ctx, pool.Load(), n, fn)
+	}
+	bufs := make([]*trace.Buffer, n)
+	for i := range bufs {
+		bufs[i] = trace.NewBuffer()
+	}
+	out, err := runner.Map(ctx, pool.Load(), n, func(ctx context.Context, i int) (T, error) {
+		return fn(trace.NewContext(ctx, bufs[i]), i)
+	})
+	for _, b := range bufs {
+		b.DrainTo(sink)
+	}
+	return out, err
+}
+
+// jobs runs heterogeneous independent steps on the experiment pool, with
+// the same per-step trace buffering as sweep.
 func jobs(ctx context.Context, fns ...func(ctx context.Context) error) error {
-	return runner.Run(ctx, pool.Load(), fns...)
+	sink := traceSink()
+	if sink == nil {
+		return runner.Run(ctx, pool.Load(), fns...)
+	}
+	bufs := make([]*trace.Buffer, len(fns))
+	wrapped := make([]func(ctx context.Context) error, len(fns))
+	for i, fn := range fns {
+		i, fn := i, fn
+		bufs[i] = trace.NewBuffer()
+		wrapped[i] = func(ctx context.Context) error {
+			return fn(trace.NewContext(ctx, bufs[i]))
+		}
+	}
+	err := runner.Run(ctx, pool.Load(), wrapped...)
+	for _, b := range bufs {
+		b.DrainTo(sink)
+	}
+	return err
 }
 
 // Table is one regenerated evaluation table.
@@ -181,26 +237,8 @@ func worstCase(ctx context.Context, p protocol.Protocol, n, t int, seed int64) (
 }
 
 // checkAgreementOnly verifies condition (i), and condition (ii) when the
-// transmitter is correct.
+// transmitter is correct, through the shared judge in core.
 func checkAgreementOnly(res *core.Result, txValue ident.Value) error {
-	transmitterCorrect := !res.Faulty.Has(0)
-	var first ident.Value
-	seen := false
-	for id, d := range res.Sim.Decisions {
-		if res.Faulty.Has(id) {
-			continue
-		}
-		if !d.Decided {
-			return fmt.Errorf("%w: %v", core.ErrNoDecision, id)
-		}
-		if !seen {
-			first, seen = d.Value, true
-		} else if d.Value != first {
-			return fmt.Errorf("%w: %v vs %v", core.ErrDisagreement, d.Value, first)
-		}
-	}
-	if transmitterCorrect && seen && first != txValue {
-		return fmt.Errorf("%w: got %v want %v", core.ErrValidity, first, txValue)
-	}
-	return nil
+	_, err := core.CheckDecisions(res.Sim.Decisions, res.Faulty, 0, txValue)
+	return err
 }

@@ -1,11 +1,13 @@
 package experiments_test
 
 import (
+	"bytes"
 	"context"
 	"strings"
 	"testing"
 
 	"byzex/internal/experiments"
+	"byzex/internal/trace"
 )
 
 // The experiment functions assert their own bounds internally (returning an
@@ -74,6 +76,7 @@ func TestE8(t *testing.T) {
 // tables (rows are emitted in submission order after the sweep completes).
 func TestParallelDeterminism(t *testing.T) {
 	defer experiments.SetParallelism(0)
+	defer experiments.SetTrace(nil)
 	funcs := []func(context.Context) (*experiments.Table, error){
 		experiments.E1Alg1, experiments.E2Alg2, experiments.E4Alg4, experiments.E6Theorem1,
 		experiments.E7Unauth, experiments.E8Theorem2,
@@ -81,11 +84,19 @@ func TestParallelDeterminism(t *testing.T) {
 	if !testing.Short() {
 		funcs = append(funcs, experiments.E12MessageSize, experiments.E13Alg5Breakdown)
 	}
-	render := func(par int) string {
+	// Each worker records into a private per-cell buffer and the buffers are
+	// merged in cell order, so both the rendered tables AND the merged JSONL
+	// trace must be byte-identical at any parallelism level. This test runs
+	// under -race in `make check`, so it also proves the per-worker sink
+	// plumbing is race-free.
+	render := func(par int) (string, string) {
 		experiments.SetParallelism(par)
 		if got := experiments.Parallelism(); got != par {
 			t.Fatalf("Parallelism() = %d after SetParallelism(%d)", got, par)
 		}
+		var traceOut bytes.Buffer
+		sink := trace.NewJSONL(&traceOut)
+		experiments.SetTrace(sink)
 		var b strings.Builder
 		for _, f := range funcs {
 			tbl, err := f(context.Background())
@@ -95,12 +106,24 @@ func TestParallelDeterminism(t *testing.T) {
 			b.WriteString(tbl.Render())
 			b.WriteString(tbl.CSV())
 		}
-		return b.String()
+		if err := sink.Flush(); err != nil {
+			t.Fatalf("parallel=%d: flushing trace: %v", par, err)
+		}
+		return b.String(), traceOut.String()
 	}
-	serial := render(1)
-	parallel := render(8)
+	serial, serialTrace := render(1)
+	parallel, parallelTrace := render(8)
 	if serial != parallel {
 		t.Fatal("tables differ between parallelism 1 and 8")
+	}
+	if serialTrace == "" {
+		t.Fatal("no trace events captured from the sweeps")
+	}
+	if serialTrace != parallelTrace {
+		t.Fatal("merged traces differ between parallelism 1 and 8")
+	}
+	if _, err := trace.ReadJSONL(strings.NewReader(serialTrace)); err != nil {
+		t.Fatalf("merged trace does not parse: %v", err)
 	}
 }
 

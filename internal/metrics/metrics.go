@@ -42,10 +42,10 @@ func (c *Collector) OnSend(phase int, from ident.ProcID, sigTotal, sigDistinct, 
 		r.MessagesCorrect++
 		r.SignaturesCorrect += sigTotal
 		r.BytesCorrect += bytes
+		r.DistinctSigners += sigDistinct
 		pp.MessagesCorrect++
 		pp.SignaturesCorrect += sigTotal
 	}
-	_ = sigDistinct
 	if bytes > r.MaxMessageBytes {
 		r.MaxMessageBytes = bytes
 	}
@@ -84,6 +84,10 @@ type Report struct {
 	SignaturesFaulty int
 	// BytesCorrect is the total payload volume sent by correct processors.
 	BytesCorrect int
+	// DistinctSigners sums, over messages sent by correct processors, the
+	// number of distinct signer identities each message carried — the raw
+	// material of Theorem 1's A(p) sets, aggregated.
+	DistinctSigners int
 	// MaxMessageBytes is the largest single payload observed.
 	MaxMessageBytes int
 	// Phases is the highest phase during which any message was sent.
@@ -115,8 +119,8 @@ func (r Report) SignaturesTotal() int { return r.SignaturesCorrect + r.Signature
 
 // String renders a compact single-line summary.
 func (r Report) String() string {
-	return fmt.Sprintf("phases=%d msgs(correct)=%d msgs(faulty)=%d sigs(correct)=%d bytes=%d maxmsg=%dB sigcache=%d/%d",
-		r.Phases, r.MessagesCorrect, r.MessagesFaulty, r.SignaturesCorrect, r.BytesCorrect, r.MaxMessageBytes,
+	return fmt.Sprintf("phases=%d msgs(correct)=%d msgs(faulty)=%d sigs(correct)=%d signers=%d bytes=%d maxmsg=%dB sigcache=%d/%d",
+		r.Phases, r.MessagesCorrect, r.MessagesFaulty, r.SignaturesCorrect, r.DistinctSigners, r.BytesCorrect, r.MaxMessageBytes,
 		r.SigCacheHits, r.SigCacheHits+r.SigCacheMisses)
 }
 

@@ -33,6 +33,11 @@ func TestCorrectFaultySplit(t *testing.T) {
 	if r.Phases != 2 {
 		t.Fatalf("phases %d", r.Phases)
 	}
+	// DistinctSigners accumulates only over correct senders: 2 (p0) + 1 (p1);
+	// the faulty sender's 3 distinct signers are excluded.
+	if r.DistinctSigners != 3 {
+		t.Fatalf("distinct signers %d, want 3", r.DistinctSigners)
+	}
 }
 
 func TestPerPhaseSeries(t *testing.T) {
@@ -66,7 +71,7 @@ func TestRendering(t *testing.T) {
 	c := metrics.NewCollector(nil)
 	c.OnSend(1, 0, 1, 1, 42)
 	r := c.Report()
-	if s := r.String(); !strings.Contains(s, "msgs(correct)=1") {
+	if s := r.String(); !strings.Contains(s, "msgs(correct)=1") || !strings.Contains(s, "signers=1") {
 		t.Fatalf("summary %q", s)
 	}
 	if tbl := r.Table(); !strings.Contains(tbl, "phase") || !strings.Contains(tbl, "1") {

@@ -5,6 +5,9 @@ import (
 	"encoding/binary"
 	"sync"
 	"sync/atomic"
+
+	"byzex/internal/ident"
+	"byzex/internal/trace"
 )
 
 // CachedVerifier wraps a Verifier with a verified-prefix cache for signature
@@ -41,6 +44,9 @@ type CachedVerifier struct {
 
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// sink receives KindVerifyHit/KindVerifyMiss events (nil disables).
+	sink trace.Sink
 }
 
 var _ Verifier = (*CachedVerifier)(nil)
@@ -60,6 +66,13 @@ func NewCachedVerifier(v Verifier) *CachedVerifier {
 func (cv *CachedVerifier) Stats() (hits, misses int64) {
 	return cv.hits.Load(), cv.misses.Load()
 }
+
+// SetTrace attaches a sink that receives one KindVerifyHit event per chain
+// verification that skipped links via the cache and one KindVerifyMiss event
+// per verification that paid cryptography (Sigs carries the link counts).
+// Call before the run starts; the sink itself must be safe for whatever
+// concurrency the verifier sees (the single-threaded engine needs none).
+func (cv *CachedVerifier) SetTrace(s trace.Sink) { cv.sink = s }
 
 // prefixKeys returns the rolling digest for every prefix length 1..len(c):
 // keys[i] commits to body and links 0..i.
@@ -108,12 +121,23 @@ func (cv *CachedVerifier) verifyChain(c Chain, body []byte) error {
 	}
 	cv.mu.RUnlock()
 	cv.hits.Add(int64(start))
+	if cv.sink != nil && start > 0 {
+		cv.sink.Emit(trace.Event{Kind: trace.KindVerifyHit, From: ident.None, To: ident.None, Sigs: start})
+	}
 
+	checked := 0
 	for i := start; i < len(c); i++ {
 		cv.misses.Add(1)
+		checked++
 		if !cv.Verifier.Verify(c[i].Signer, signingInput(body, c[:i]), c[i].Sig) {
+			if cv.sink != nil {
+				cv.sink.Emit(trace.Event{Kind: trace.KindVerifyMiss, From: c[i].Signer, To: ident.None, Sigs: checked})
+			}
 			return linkError(i, c[i].Signer)
 		}
+	}
+	if cv.sink != nil && checked > 0 {
+		cv.sink.Emit(trace.Event{Kind: trace.KindVerifyMiss, From: ident.None, To: ident.None, Sigs: checked})
 	}
 	if start < len(c) {
 		cv.mu.Lock()

@@ -9,6 +9,7 @@ import (
 	"byzex/internal/ident"
 	"byzex/internal/protocols/dolevstrong"
 	"byzex/internal/sim"
+	"byzex/internal/trace"
 )
 
 // flooder broadcasts a fixed payload every phase — a throughput stress for
@@ -82,6 +83,40 @@ func BenchmarkEngineHotPath(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTraceOverhead quantifies the tracing tax on the broadcast stress:
+// "disabled" is the nil-sink fast path (one nil check per potential event,
+// zero allocations — the default everyone pays), "nop" adds the interface
+// dispatch with a discarding sink, and "ring" adds bounded retention. The
+// disabled case must track BenchmarkEngineBroadcast within noise.
+func BenchmarkTraceOverhead(b *testing.B) {
+	const n = 64
+	payload := make([]byte, 64)
+	run := func(b *testing.B, sink trace.Sink) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nodes := make([]sim.Node, n)
+			for j := range nodes {
+				nodes[j] = &flooder{id: ident.ProcID(j), payload: payload}
+			}
+			eng, err := sim.New(sim.Config{N: n, Phases: 1, Trace: sink}, nodes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n*(n-1)), "msgs/run")
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("nop", func(b *testing.B) { run(b, trace.Nop{}) })
+	b.Run("ring", func(b *testing.B) {
+		ring := trace.NewRing(4096)
+		run(b, ring)
+	})
 }
 
 func benchName(n int) string {

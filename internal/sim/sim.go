@@ -21,6 +21,7 @@ import (
 
 	"byzex/internal/ident"
 	"byzex/internal/metrics"
+	"byzex/internal/trace"
 )
 
 // Errors returned by the engine and the send path.
@@ -95,6 +96,7 @@ type Context struct {
 	lastPhase   int
 	submit      func(Envelope)
 	filter      func(ident.ProcID) bool
+	sink        trace.Sink // nil when tracing is disabled
 }
 
 // NewContext builds a context for an external transport (e.g. the TCP
@@ -110,6 +112,15 @@ func NewContext(id ident.ProcID, n, t int, transmitter ident.ProcID, phase, last
 		lastPhase:   lastPhase,
 		submit:      submit,
 	}
+}
+
+// WithTrace derives a context that reports suppressed sends (see
+// WithSendFilter) to s as KindOmit events. The in-memory engine wires its
+// contexts internally; external transports chain this after NewContext.
+func (c *Context) WithTrace(s trace.Sink) *Context {
+	clone := *c
+	clone.sink = s
+	return &clone
 }
 
 // WithSendFilter derives a context whose Send silently drops messages to
@@ -156,6 +167,14 @@ func (c *Context) Send(to ident.ProcID, payload []byte, signers []ident.ProcID, 
 		return fmt.Errorf("%w: %v -> %v", ErrBadRecipient, c.id, to)
 	}
 	if c.filter != nil && !c.filter(to) {
+		// An adversary wrapper withheld the send; record the omission so
+		// traces can explain why the Byzantine node's traffic is asymmetric.
+		if c.sink != nil {
+			c.sink.Emit(trace.Event{
+				Kind: trace.KindOmit, Phase: c.phase, From: c.id, To: to,
+				Sigs: sigTotal, Signers: len(signers), Bytes: len(payload),
+			})
+		}
 		return nil
 	}
 	c.submit(Envelope{
@@ -196,6 +215,10 @@ type Config struct {
 	Rushing bool
 	// Observers receive every sent envelope (optional).
 	Observers []Observer
+	// Trace receives structured execution events (optional). A nil sink
+	// disables tracing at the cost of one nil check per potential event;
+	// the disabled path allocates nothing.
+	Trace trace.Sink
 }
 
 // Validate checks the configuration for internal consistency.
@@ -302,6 +325,7 @@ func New(cfg Config, nodes []Node) (*Engine, error) {
 			transmitter: cfg.Transmitter,
 			lastPhase:   cfg.Phases,
 			submit:      submit,
+			sink:        cfg.Trace,
 		}
 	}
 	return e, nil
@@ -311,6 +335,13 @@ func (e *Engine) submit(env Envelope) {
 	e.collector.OnSend(env.Phase, env.From, env.SigTotal, len(env.Signers), len(env.Payload))
 	for _, o := range e.cfg.Observers {
 		o.OnSend(env)
+	}
+	if e.cfg.Trace != nil {
+		e.cfg.Trace.Emit(trace.Event{
+			Kind: trace.KindSend, Phase: env.Phase, From: env.From, To: env.To,
+			Sigs: env.SigTotal, Signers: len(env.Signers), Bytes: len(env.Payload),
+			Flag: e.cfg.Faulty.Has(env.From),
+		})
 	}
 	e.pending[env.To] = append(e.pending[env.To], env)
 }
@@ -322,6 +353,9 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 	for phase := 1; phase <= e.cfg.Phases+1; phase++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("sim: aborted at phase %d: %w", phase, err)
+		}
+		if e.cfg.Trace != nil {
+			e.cfg.Trace.Emit(trace.Event{Kind: trace.KindPhaseStart, Phase: phase, From: ident.None, To: ident.None})
 		}
 		// Swap pending into inboxes; messages sent this phase accumulate
 		// into the recycled slices of the previous phase's inboxes (their
@@ -359,11 +393,20 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 					for i, env := range e.pending[id] {
 						peek[i] = env.Clone()
 					}
+					if e.cfg.Trace != nil && len(peek) > 0 {
+						e.cfg.Trace.Emit(trace.Event{
+							Kind: trace.KindRush, Phase: phase,
+							From: ident.ProcID(id), To: ident.None, Sigs: len(peek),
+						})
+					}
 					if err := e.step(id, phase, peek); err != nil {
 						return nil, err
 					}
 				}
 			}
+		}
+		if e.cfg.Trace != nil {
+			e.cfg.Trace.Emit(trace.Event{Kind: trace.KindPhaseEnd, Phase: phase, From: ident.None, To: ident.None})
 		}
 	}
 
@@ -374,6 +417,12 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 	}
 	for id, nd := range e.nodes {
 		v, ok := nd.Decide()
+		if e.cfg.Trace != nil {
+			e.cfg.Trace.Emit(trace.Event{
+				Kind: trace.KindDecide, Phase: e.cfg.Phases + 1,
+				From: ident.ProcID(id), To: ident.None, Value: v, Flag: ok,
+			})
+		}
 		res.Decisions[ident.ProcID(id)] = Decision{Value: v, Decided: ok}
 	}
 	return res, nil
@@ -385,6 +434,14 @@ func (e *Engine) step(id, phase int, extra []Envelope) error {
 	nctx := &e.ctxs[id]
 	nctx.phase = phase
 	inbox := e.inboxes[id]
+	if e.cfg.Trace != nil {
+		for i := range inbox {
+			e.cfg.Trace.Emit(trace.Event{
+				Kind: trace.KindDeliver, Phase: phase, From: inbox[i].From, To: inbox[i].To,
+				Sigs: inbox[i].SigTotal, Signers: len(inbox[i].Signers), Bytes: len(inbox[i].Payload),
+			})
+		}
+	}
 	if len(extra) > 0 {
 		inbox = append(append(make([]Envelope, 0, len(inbox)+len(extra)), inbox...), extra...)
 	}

@@ -1,0 +1,127 @@
+package trace_test
+
+import (
+	"context"
+	"testing"
+
+	"byzex/internal/cli"
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/trace"
+)
+
+// TestTraceMatchesReportEveryProtocol is the acceptance gate for the tracing
+// layer: for every protocol in the registry (cli.Protocols), the per-phase
+// message/signature attribution recovered from the trace must equal the
+// counters metrics.Collector accumulated during the same run — under a
+// fault-free run, a silent coalition, and a rushing split-brain where the
+// fault bound allows one.
+func TestTraceMatchesReportEveryProtocol(t *testing.T) {
+	configs := map[string]struct {
+		n, t  int
+		plain bool
+	}{
+		"alg1":               {5, 2, false},
+		"alg1-multi":         {5, 2, false},
+		"alg2":               {5, 2, false},
+		"alg3":               {12, 2, false},
+		"alg4":               {16, 2, false},
+		"alg4-relay":         {9, 2, false},
+		"alg5":               {20, 2, false},
+		"alg5-nopow":         {20, 2, false},
+		"ic":                 {5, 1, false},
+		"dolev-strong":       {6, 2, false},
+		"lsp":                {7, 2, true},
+		"phase-king":         {9, 2, true},
+		"strawman-broadcast": {5, 1, false},
+		"strawman-thinrelay": {8, 2, false},
+	}
+	protos, err := cli.Protocols(cli.Params{N: 8, T: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range cli.ProtocolNames() {
+		if _, ok := protos[name]; !ok {
+			t.Fatalf("Protocols() missing %q", name)
+		}
+		cfg, ok := configs[name]
+		if !ok {
+			t.Fatalf("no test config for protocol %q", name)
+		}
+		params := cli.Params{N: cfg.n, T: cfg.t, Seed: 1}
+		proto, err := cli.Protocol(name, params)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		schemeName := "hmac"
+		if cfg.plain {
+			schemeName = "plain"
+		}
+		scheme, err := cli.Scheme(schemeName, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		scenarios := []struct {
+			scenario string
+			advName  string
+			rushing  bool
+		}{
+			{"fault-free", "none", false},
+			{"silent", "silent", false},
+			{"split-brain-rushing", "split-brain", true},
+		}
+		for _, sc := range scenarios {
+			adv, err := cli.Adversary(sc.advName, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := trace.NewBuffer()
+			res, err := core.Run(context.Background(), core.Config{
+				Protocol: proto, N: cfg.n, T: cfg.t, Value: ident.V1,
+				Scheme: scheme, Adversary: adv, Seed: 7,
+				Rushing: sc.rushing, Trace: buf,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, sc.scenario, err)
+			}
+			sum := trace.Summarize(buf.Events())
+			if err := sum.CheckReport(res.Sim.Report); err != nil {
+				t.Errorf("%s/%s: %v", name, sc.scenario, err)
+			}
+			// The trace's own bookkeeping must match the run shape too.
+			if sum.Corrupted != res.Faulty.Len() {
+				t.Errorf("%s/%s: %d corrupt events, faulty set has %d", name, sc.scenario, sum.Corrupted, res.Faulty.Len())
+			}
+			if sum.Decided+sum.Undecided != cfg.n {
+				t.Errorf("%s/%s: %d decision events, want %d", name, sc.scenario, sum.Decided+sum.Undecided, cfg.n)
+			}
+			if sum.VerifyHits != res.Sim.Report.SigCacheHits || sum.VerifyMisses != res.Sim.Report.SigCacheMisses {
+				t.Errorf("%s/%s: verify events %d/%d, report sigcache %d/%d", name, sc.scenario,
+					sum.VerifyHits, sum.VerifyMisses, res.Sim.Report.SigCacheHits, res.Sim.Report.SigCacheMisses)
+			}
+		}
+	}
+}
+
+// TestTraceDisabledIsFree pins the zero-overhead contract end to end: a full
+// run with no sink performs exactly as many allocations as the same run
+// with the Nop sink — i.e. the emission paths themselves allocate nothing.
+func TestTraceDisabledIsFree(t *testing.T) {
+	run := func(sink trace.Sink) {
+		proto, err := cli.Protocol("dolev-strong", cli.Params{N: 6, T: 2, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.Config{Protocol: proto, N: 6, T: 2, Value: ident.V1, Seed: 1, Trace: sink}
+		if _, err := core.Run(context.Background(), cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const rounds = 10
+	disabled := testing.AllocsPerRun(rounds, func() { run(nil) })
+	nop := testing.AllocsPerRun(rounds, func() { run(trace.Nop{}) })
+	if nop != disabled {
+		t.Fatalf("Nop-sink run allocates %.0f, disabled run %.0f — emission path allocates", nop, disabled)
+	}
+}

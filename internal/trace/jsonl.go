@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"byzex/internal/ident"
+)
+
+// eventJSON is the wire form of one event: every field is always present, so
+// the encoding of a given event is byte-for-byte deterministic and parsers
+// need no presence logic.
+type eventJSON struct {
+	Kind    string `json:"kind"`
+	Phase   int    `json:"phase"`
+	From    int32  `json:"from"`
+	To      int32  `json:"to"`
+	Sigs    int    `json:"sigs"`
+	Signers int    `json:"signers"`
+	Bytes   int    `json:"bytes"`
+	Value   int64  `json:"value"`
+	Flag    bool   `json:"flag"`
+}
+
+// kindByName is the inverse of kindNames, built once at init.
+var kindByName = func() map[string]Kind {
+	out := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		out[n] = k
+	}
+	return out
+}()
+
+// marshalEvent renders one event as a JSON object (no trailing newline).
+func marshalEvent(e Event) ([]byte, error) {
+	name, ok := kindNames[e.Kind]
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown event kind %d", e.Kind)
+	}
+	return json.Marshal(eventJSON{
+		Kind:    name,
+		Phase:   e.Phase,
+		From:    int32(e.From),
+		To:      int32(e.To),
+		Sigs:    e.Sigs,
+		Signers: e.Signers,
+		Bytes:   e.Bytes,
+		Value:   int64(e.Value),
+		Flag:    e.Flag,
+	})
+}
+
+// JSONL is a sink that streams events as one JSON object per line — the
+// offline-analysis format behind `basim -trace` and `baexp -trace`. Errors
+// are sticky: the first write or encode failure is retained and subsequent
+// events are dropped, so hot paths never need to check an error per event.
+type JSONL struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONL returns a sink writing JSON lines to w (buffered; call Flush when
+// done).
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink.
+func (j *JSONL) Emit(e Event) {
+	if j.err != nil {
+		return
+	}
+	line, err := marshalEvent(e)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(line); err != nil {
+		j.err = err
+		return
+	}
+	j.err = j.w.WriteByte('\n')
+}
+
+// Flush writes buffered output and returns the first error encountered by
+// any Emit or flush.
+func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.w.Flush()
+	return j.err
+}
+
+// WriteJSONL renders events to w in JSONL form.
+func WriteJSONL(w io.Writer, events []Event) error {
+	j := NewJSONL(w)
+	for _, e := range events {
+		j.Emit(e)
+	}
+	return j.Flush()
+}
+
+// ReadJSONL parses a JSONL trace back into events, validating every line.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ej eventJSON
+		if err := json.Unmarshal(line, &ej); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		kind, ok := kindByName[ej.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, ej.Kind)
+		}
+		out = append(out, Event{
+			Kind:    kind,
+			Phase:   ej.Phase,
+			From:    ident.ProcID(ej.From),
+			To:      ident.ProcID(ej.To),
+			Sigs:    ej.Sigs,
+			Signers: ej.Signers,
+			Bytes:   ej.Bytes,
+			Value:   ident.Value(ej.Value),
+			Flag:    ej.Flag,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading JSONL: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package trace_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"byzex/internal/ident"
+	"byzex/internal/trace"
+)
+
+func sampleEvents() []trace.Event {
+	return []trace.Event{
+		{Kind: trace.KindCorrupt, From: 2, To: ident.None},
+		{Kind: trace.KindPhaseStart, Phase: 1, From: ident.None, To: ident.None},
+		{Kind: trace.KindSend, Phase: 1, From: 0, To: 1, Sigs: 3, Signers: 2, Bytes: 40},
+		{Kind: trace.KindSend, Phase: 1, From: 2, To: 1, Sigs: 1, Signers: 1, Bytes: 10, Flag: true},
+		{Kind: trace.KindOmit, Phase: 1, From: 2, To: 3, Sigs: 1, Signers: 1, Bytes: 10},
+		{Kind: trace.KindPhaseEnd, Phase: 1, From: ident.None, To: ident.None},
+		{Kind: trace.KindPhaseStart, Phase: 2, From: ident.None, To: ident.None},
+		{Kind: trace.KindDeliver, Phase: 2, From: 0, To: 1, Sigs: 3, Signers: 2, Bytes: 40},
+		{Kind: trace.KindVerifyHit, Sigs: 2, From: ident.None, To: ident.None},
+		{Kind: trace.KindVerifyMiss, Sigs: 1, From: ident.None, To: ident.None},
+		{Kind: trace.KindRush, Phase: 2, From: 2, To: ident.None, Sigs: 4},
+		{Kind: trace.KindPhaseEnd, Phase: 2, From: ident.None, To: ident.None},
+		{Kind: trace.KindDecide, Phase: 3, From: 0, To: ident.None, Value: ident.V1, Flag: true},
+		{Kind: trace.KindDecide, Phase: 3, From: 2, To: ident.None, Flag: false},
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	kinds := []trace.Kind{
+		trace.KindCorrupt, trace.KindPhaseStart, trace.KindPhaseEnd,
+		trace.KindSend, trace.KindOmit, trace.KindDeliver,
+		trace.KindVerifyHit, trace.KindVerifyMiss, trace.KindRush, trace.KindDecide,
+	}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		name := k.String()
+		if name == "unknown" || name == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate kind name %q", name)
+		}
+		seen[name] = true
+	}
+	if trace.Kind(0).String() != "unknown" || trace.Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kinds must stringify as unknown")
+	}
+}
+
+func TestBufferAndDrain(t *testing.T) {
+	src := trace.NewBuffer()
+	for _, e := range sampleEvents() {
+		src.Emit(e)
+	}
+	if src.Len() != len(sampleEvents()) {
+		t.Fatalf("Len = %d, want %d", src.Len(), len(sampleEvents()))
+	}
+	dst := trace.NewBuffer()
+	src.DrainTo(dst)
+	if src.Len() != 0 {
+		t.Fatal("DrainTo must empty the source")
+	}
+	got := dst.Events()
+	want := sampleEvents()
+	if len(got) != len(want) {
+		t.Fatalf("drained %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := trace.NewRing(3)
+	events := sampleEvents()
+	for _, e := range events {
+		r.Emit(e)
+	}
+	got := r.Events()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d events, want 3", len(got))
+	}
+	want := events[len(events)-3:]
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ring event %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	if r.Dropped() != len(events)-3 {
+		t.Fatalf("Dropped = %d, want %d", r.Dropped(), len(events)-3)
+	}
+
+	// Degenerate capacities clamp to 1.
+	tiny := trace.NewRing(0)
+	tiny.Emit(events[0])
+	tiny.Emit(events[1])
+	if got := tiny.Events(); len(got) != 1 || got[0] != events[1] {
+		t.Fatalf("capacity-clamped ring: %+v", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	want := sampleEvents()
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(want) {
+		t.Fatalf("wrote %d lines, want %d", n, len(want))
+	}
+	got, err := trace.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJSONLRejectsBadInput(t *testing.T) {
+	if _, err := trace.ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if _, err := trace.ReadJSONL(strings.NewReader(`{"kind":"teleport"}` + "\n")); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, []trace.Event{{Kind: trace.Kind(99)}}); err == nil {
+		t.Fatal("unknown kind encoded")
+	}
+}
+
+func TestContextCarriesSink(t *testing.T) {
+	if trace.FromContext(context.Background()) != nil {
+		t.Fatal("fresh context must carry no sink")
+	}
+	b := trace.NewBuffer()
+	ctx := trace.NewContext(context.Background(), b)
+	if trace.FromContext(ctx) != trace.Sink(b) {
+		t.Fatal("sink not recovered from context")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := trace.Summarize(sampleEvents())
+	if s.Events != len(sampleEvents()) {
+		t.Fatalf("Events = %d", s.Events)
+	}
+	if s.Corrupted != 1 || s.Decided != 1 || s.Undecided != 1 {
+		t.Fatalf("corrupted/decided/undecided = %d/%d/%d", s.Corrupted, s.Decided, s.Undecided)
+	}
+	if s.VerifyHits != 2 || s.VerifyMisses != 1 {
+		t.Fatalf("verify hits/misses = %d/%d", s.VerifyHits, s.VerifyMisses)
+	}
+	p1 := s.PerPhase[1]
+	if p1.MessagesCorrect != 1 || p1.MessagesFaulty != 1 || p1.SignaturesCorrect != 3 ||
+		p1.SignaturesFaulty != 1 || p1.DistinctSigners != 2 || p1.BytesCorrect != 40 || p1.Omitted != 1 {
+		t.Fatalf("phase 1 summary: %+v", p1)
+	}
+	p2 := s.PerPhase[2]
+	if p2.Delivered != 1 || p2.Rushed != 4 {
+		t.Fatalf("phase 2 summary: %+v", p2)
+	}
+	tot := s.Totals()
+	if tot.MessagesCorrect != 1 || tot.MessagesFaulty != 1 || tot.Delivered != 1 {
+		t.Fatalf("totals: %+v", tot)
+	}
+	table := s.Table()
+	for _, needle := range []string{"msgs-correct", "total", "corrupted=1"} {
+		if !strings.Contains(table, needle) {
+			t.Fatalf("table missing %q:\n%s", needle, table)
+		}
+	}
+}
+
+func TestEmitDoesNotAllocate(t *testing.T) {
+	// The overhead contract: Event is flat, so emitting through the Sink
+	// interface must not allocate for the Nop and (steady-state) Ring sinks.
+	e := sampleEvents()[2]
+	var nop trace.Sink = trace.Nop{}
+	if n := testing.AllocsPerRun(1000, func() { nop.Emit(e) }); n != 0 {
+		t.Fatalf("Nop.Emit allocates %.1f per op", n)
+	}
+	var ring trace.Sink = trace.NewRing(64)
+	if n := testing.AllocsPerRun(1000, func() { ring.Emit(e) }); n != 0 {
+		t.Fatalf("Ring.Emit allocates %.1f per op", n)
+	}
+}
+
+func TestJSONLStickyError(t *testing.T) {
+	w := &failingWriter{}
+	j := trace.NewJSONL(w)
+	for i := 0; i < 10000; i++ { // enough to overflow the bufio buffer
+		j.Emit(sampleEvents()[2])
+	}
+	if err := j.Flush(); err == nil {
+		t.Fatal("write failure not surfaced")
+	}
+	if w.writes > 1 {
+		t.Fatalf("sink kept writing after failure: %d writes", w.writes)
+	}
+}
+
+type failingWriter struct{ writes int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return 0, errors.New("disk full")
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"byzex/internal/adversary"
 	"byzex/internal/core"
 	"byzex/internal/ident"
 	"byzex/internal/protocol"
@@ -14,6 +15,7 @@ import (
 	"byzex/internal/protocols/alg5"
 	"byzex/internal/protocols/dolevstrong"
 	"byzex/internal/sig"
+	"byzex/internal/trace"
 	"byzex/internal/transport"
 )
 
@@ -72,6 +74,107 @@ func TestEngineTCPParity(t *testing.T) {
 				t.Fatalf("%s v=%v: bytes differ (engine %d, tcp %d)",
 					tc.p.Name(), v, er.BytesCorrect, tr.BytesCorrect)
 			}
+		}
+	}
+}
+
+// TestRunClusterSharedConfig drives the unified Run API: the SAME
+// core.Config value runs on both substrates, decisions are judged by the
+// shared Result.Decision methods, and the cluster's execution trace must
+// agree with its metrics report exactly as the engine's does.
+func TestRunClusterSharedConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"fault-free", core.Config{
+			Protocol: alg1.Protocol{}, N: 7, T: 3, Value: ident.V1,
+			Scheme: sig.NewHMAC(7, 55), Seed: 55,
+		}},
+		{"silent-coalition", core.Config{
+			Protocol: dolevstrong.Protocol{}, N: 8, T: 2, Value: ident.V1,
+			Scheme: sig.NewHMAC(8, 56), Seed: 56,
+			Adversary: adversary.Silent{}, FaultyOverride: ident.NewSet(6, 7),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			engRes, err := core.Run(context.Background(), tc.cfg)
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			engDec, err := engRes.Decision(tc.cfg.Transmitter, tc.cfg.Value)
+			if err != nil {
+				t.Fatalf("engine decision: %v", err)
+			}
+
+			clCfg := tc.cfg
+			buf := trace.NewBuffer()
+			clCfg.Trace = buf
+			clRes, err := transport.RunCluster(context.Background(), clCfg,
+				transport.Net{PhaseTimeout: 10 * time.Second})
+			if err != nil {
+				t.Fatalf("cluster: %v", err)
+			}
+			clDec, err := clRes.Decision(tc.cfg.Transmitter, tc.cfg.Value)
+			if err != nil {
+				t.Fatalf("cluster decision: %v", err)
+			}
+			if engDec != clDec {
+				t.Fatalf("decisions differ: engine %v, cluster %v", engDec, clDec)
+			}
+			if engRes.Faulty.Len() != clRes.Faulty.Len() ||
+				engRes.Faulty.Intersect(clRes.Faulty).Len() != engRes.Faulty.Len() {
+				t.Fatalf("faulty sets differ: engine %v, cluster %v",
+					engRes.Faulty.Sorted(), clRes.Faulty.Sorted())
+			}
+			if engRes.Sim.Report.MessagesCorrect != clRes.Report.MessagesCorrect {
+				t.Fatalf("messages differ: engine %d, cluster %d",
+					engRes.Sim.Report.MessagesCorrect, clRes.Report.MessagesCorrect)
+			}
+
+			// The cluster's merged trace must agree with its own metrics.
+			sum := trace.Summarize(buf.Events())
+			if err := sum.CheckReport(clRes.Report); err != nil {
+				t.Fatalf("cluster trace vs report: %v", err)
+			}
+			if sum.Decided+sum.Undecided != tc.cfg.N {
+				t.Fatalf("%d decision events, want %d", sum.Decided+sum.Undecided, tc.cfg.N)
+			}
+			if sum.Corrupted != clRes.Faulty.Len() {
+				t.Fatalf("%d corrupt events, faulty set has %d", sum.Corrupted, clRes.Faulty.Len())
+			}
+		})
+	}
+}
+
+// TestRunClusterTraceDeterministic pins the merge order: two identical
+// cluster runs — goroutine scheduling aside — must produce byte-identical
+// JSONL traces.
+func TestRunClusterTraceDeterministic(t *testing.T) {
+	run := func() []trace.Event {
+		buf := trace.NewBuffer()
+		_, err := transport.RunCluster(context.Background(), core.Config{
+			Protocol: alg2.Protocol{}, N: 5, T: 2, Value: ident.V1,
+			Scheme: sig.NewHMAC(5, 77), Seed: 77,
+			Adversary: adversary.Silent{}, FaultyOverride: ident.NewSet(4),
+			Trace: buf,
+		}, transport.Net{PhaseTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Events()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
 		}
 	}
 }

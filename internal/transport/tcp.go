@@ -7,7 +7,12 @@
 // per-phase timeout fires, which tolerates crashed peers).
 //
 // The same sim.Node state machines that drive the in-memory engine run
-// unmodified over TCP; only the delivery substrate changes.
+// unmodified over TCP; only the delivery substrate changes. Runs are
+// described by the same core.Config the engine consumes — RunCluster reuses
+// core.NewSetup for defaulting, corruption choice and node construction, and
+// core.CheckDecisions for judging agreement, so the two substrates cannot
+// drift. The network-specific knobs (phase timeout, muted processors) live
+// in Net.
 package transport
 
 import (
@@ -21,11 +26,13 @@ import (
 	"time"
 
 	"byzex/internal/adversary"
+	"byzex/internal/core"
 	"byzex/internal/ident"
 	"byzex/internal/metrics"
 	"byzex/internal/protocol"
 	"byzex/internal/sig"
 	"byzex/internal/sim"
+	"byzex/internal/trace"
 	"byzex/internal/wire"
 )
 
@@ -38,7 +45,29 @@ var (
 // maxFrame bounds a single frame on the wire (16 MiB).
 const maxFrame = 16 << 20
 
-// Config describes a TCP cluster run.
+// Net carries the network-substrate knobs of a cluster run — everything a
+// TCP execution needs beyond the protocol description in core.Config.
+type Net struct {
+	// PhaseTimeout is the per-phase wait for missing peers (default 5s).
+	PhaseTimeout time.Duration
+
+	// Mute lists processors whose frames are never flushed — simulating a
+	// machine that died without closing its sockets. Peers fall back to
+	// the phase timeout when waiting on a muted processor, so runs with
+	// Mute processors take ≈ phases × PhaseTimeout; keep the timeout small
+	// in tests. Muted processors should also be in the faulty set: a
+	// correct processor cannot be muted without violating the synchrony
+	// assumption the protocols rely on.
+	Mute ident.Set
+}
+
+// Config describes a TCP cluster run with a transport-private options
+// struct.
+//
+// Deprecated: Config duplicated core.Config field by field and let the two
+// substrates drift in how they defaulted schemes and resolved faulty sets.
+// New code should call RunCluster with a core.Config plus Net; Config and
+// Run remain as thin shims with the historical defaults.
 type Config struct {
 	// N, T, Transmitter, Value, Protocol, Scheme: as in core.Config.
 	N           int
@@ -48,21 +77,15 @@ type Config struct {
 	Protocol    protocol.Protocol
 	Scheme      sig.Scheme
 
-	// Adversary and Faulty select Byzantine processors (optional).
+	// Adversary and Faulty select Byzantine processors (optional). Unlike
+	// core.Config, Faulty is always explicit: the adversary's Corrupt
+	// method is never consulted.
 	Adversary adversary.Adversary
 	Faulty    ident.Set
 
-	// PhaseTimeout is the per-phase wait for missing peers (default 5s).
+	// PhaseTimeout and Mute: as in Net.
 	PhaseTimeout time.Duration
-
-	// Mute lists processors whose frames are never flushed — simulating a
-	// machine that died without closing its sockets. Peers fall back to
-	// the phase timeout when waiting on a muted processor, so runs with
-	// Mute processors take ≈ phases × PhaseTimeout; keep the timeout small
-	// in tests. Muted processors should also be in Faulty: a correct
-	// processor cannot be muted without violating the synchrony assumption
-	// the protocols rely on.
-	Mute ident.Set
+	Mute         ident.Set
 
 	// Seed drives deterministic randomness (scheme and adversary).
 	Seed int64
@@ -75,69 +98,92 @@ type Result struct {
 	Faulty    ident.Set
 }
 
+// Decision returns the common decision of the correct processors, or an
+// agreement violation error, using the same judge as the in-memory engine
+// (core.CheckDecisions).
+func (r *Result) Decision(transmitter ident.ProcID, transmitterValue ident.Value) (ident.Value, error) {
+	return core.CheckDecisions(r.Decisions, r.Faulty, transmitter, transmitterValue)
+}
+
 // Run executes the configured protocol over localhost TCP.
+//
+// Deprecated: use RunCluster. Run adapts the legacy Config onto it,
+// preserving the historical default-scheme seed and the never-call-Corrupt
+// faulty semantics.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
-	if cfg.Protocol == nil {
-		return nil, errors.New("transport: nil protocol")
-	}
-	if err := cfg.Protocol.Check(cfg.N, cfg.T); err != nil {
-		return nil, err
-	}
 	scheme := cfg.Scheme
-	if scheme == nil {
+	if scheme == nil && cfg.N > 0 {
 		scheme = sig.NewHMAC(cfg.N, cfg.Seed^0x7cb)
 	}
-	if cfg.PhaseTimeout <= 0 {
-		cfg.PhaseTimeout = 5 * time.Second
+	fo := cfg.Faulty
+	if cfg.Adversary != nil && fo == nil {
+		// The legacy API never consulted Adversary.Corrupt; pin the
+		// (empty) explicit set so NewSetup doesn't either.
+		fo = make(ident.Set)
 	}
-	faulty := cfg.Faulty
-	if faulty == nil {
-		faulty = make(ident.Set)
-	}
-	var env *adversary.Env
-	if cfg.Adversary != nil && faulty.Len() > 0 {
-		st, err := adversary.NewState(faulty, scheme, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		env = &adversary.Env{Protocol: cfg.Protocol, State: st}
-	}
+	return RunCluster(ctx, core.Config{
+		Protocol:       cfg.Protocol,
+		N:              cfg.N,
+		T:              cfg.T,
+		Transmitter:    cfg.Transmitter,
+		Value:          cfg.Value,
+		Scheme:         scheme,
+		Adversary:      cfg.Adversary,
+		FaultyOverride: fo,
+		Seed:           cfg.Seed,
+	}, Net{PhaseTimeout: cfg.PhaseTimeout, Mute: cfg.Mute})
+}
 
-	phases := cfg.Protocol.Phases(cfg.N, cfg.T)
-	collector := metrics.NewCollector(faulty)
+// RunCluster executes cfg over localhost TCP: every processor is a
+// goroutine with its own listener, wired into a full mesh. Setup (scheme
+// defaulting, corruption, node construction) is shared with core.Run via
+// core.NewSetup.
+//
+// Tracing: the sink is resolved exactly as in core.Run (cfg.Trace, else the
+// context's). Each peer records its events privately, bucketed by wall
+// phase; after the run the per-peer streams are merged in (wall phase, peer
+// id, emission order) order, with PhaseStart/PhaseEnd markers synthesized
+// around each wall phase — so the trace is deterministic even though peers
+// execute concurrently. Signature-cache events and cache statistics are not
+// recorded here: peers share one verifier, so the hit/miss split depends on
+// goroutine interleaving.
+func RunCluster(ctx context.Context, cfg core.Config, netCfg Net) (*Result, error) {
+	setup, err := core.NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if netCfg.PhaseTimeout <= 0 {
+		netCfg.PhaseTimeout = 5 * time.Second
+	}
+	sink := cfg.ResolveTrace(ctx)
+	core.EmitCorruptions(sink, setup.Faulty)
+
+	collector := metrics.NewCollector(setup.Faulty)
 	var collectorMu sync.Mutex
+	onSend := func(phase int, from ident.ProcID, sigTotal, signers, bytes int) {
+		collectorMu.Lock()
+		defer collectorMu.Unlock()
+		collector.OnSend(phase, from, sigTotal, signers, bytes)
+	}
 
-	// Build nodes and listeners.
+	// Build listeners around the prepared nodes.
+	wallPhases := setup.Phases + 1
 	peers := make([]*peer, cfg.N)
-	for i := 0; i < cfg.N; i++ {
+	for i, node := range setup.Nodes {
 		id := ident.ProcID(i)
-		signer, err := scheme.Signer(id)
-		if err != nil {
-			return nil, err
-		}
-		ncfg := protocol.NodeConfig{
-			ID: id, N: cfg.N, T: cfg.T,
-			Transmitter: cfg.Transmitter, Value: cfg.Value,
-			Signer: signer, Verifier: scheme,
-		}
-		var node sim.Node
-		if faulty.Has(id) && env != nil {
-			node, err = cfg.Adversary.NewNode(ncfg, env)
-		} else {
-			node, err = cfg.Protocol.NewNode(ncfg)
-		}
-		if err != nil {
-			return nil, err
-		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return nil, fmt.Errorf("transport: listen: %w", err)
 		}
-		peers[i] = newPeer(id, cfg, node, ln, phases, func(phase int, from ident.ProcID, sigTotal, signers, bytes int) {
-			collectorMu.Lock()
-			defer collectorMu.Unlock()
-			collector.OnSend(phase, from, sigTotal, signers, bytes)
-		})
+		var rec *phaseRecorder
+		if sink != nil {
+			rec = newPhaseRecorder(wallPhases)
+		}
+		peers[i] = newPeer(peerConfig{
+			id: id, n: cfg.N, t: cfg.T, transmitter: cfg.Transmitter,
+			phases: setup.Phases, timeout: netCfg.PhaseTimeout,
+			muted: netCfg.Mute.Has(id), faulty: setup.Faulty,
+		}, node, ln, rec, onSend)
 	}
 	addrs := make([]string, cfg.N)
 	for i, p := range peers {
@@ -156,33 +202,80 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	for i, err := range errs {
-		if err != nil && !faulty.Has(ident.ProcID(i)) {
+		if err != nil && !setup.Faulty.Has(ident.ProcID(i)) {
 			return nil, fmt.Errorf("transport: processor %d: %w", i, err)
+		}
+	}
+
+	// Merge the per-peer trace streams deterministically.
+	if sink != nil {
+		for ph := 1; ph <= wallPhases; ph++ {
+			sink.Emit(trace.Event{Kind: trace.KindPhaseStart, Phase: ph, From: ident.None, To: ident.None})
+			for _, p := range peers {
+				for _, e := range p.rec.buckets[ph] {
+					sink.Emit(e)
+				}
+			}
+			sink.Emit(trace.Event{Kind: trace.KindPhaseEnd, Phase: ph, From: ident.None, To: ident.None})
 		}
 	}
 
 	res := &Result{
 		Decisions: make(map[ident.ProcID]sim.Decision, cfg.N),
-		Faulty:    faulty.Clone(),
+		Faulty:    setup.Faulty.Clone(),
 	}
 	collectorMu.Lock()
 	res.Report = collector.Report()
 	collectorMu.Unlock()
 	for i, p := range peers {
 		v, ok := p.node.Decide()
+		if sink != nil {
+			sink.Emit(trace.Event{
+				Kind: trace.KindDecide, Phase: wallPhases,
+				From: ident.ProcID(i), To: ident.None, Value: v, Flag: ok,
+			})
+		}
 		res.Decisions[ident.ProcID(i)] = sim.Decision{Value: v, Decided: ok}
 	}
 	return res, nil
 }
 
+// phaseRecorder is a per-peer trace sink. Each peer goroutine owns exactly
+// one recorder (so emission needs no locking), bucketing events by the wall
+// phase in which they occurred; RunCluster drains the buckets after all
+// goroutines have joined.
+type phaseRecorder struct {
+	buckets [][]trace.Event // indexed by wall phase; index 0 unused
+	cur     int
+}
+
+func newPhaseRecorder(wallPhases int) *phaseRecorder {
+	return &phaseRecorder{buckets: make([][]trace.Event, wallPhases+1), cur: 1}
+}
+
+// Emit implements trace.Sink for the owning peer's goroutine.
+func (r *phaseRecorder) Emit(e trace.Event) {
+	r.buckets[r.cur] = append(r.buckets[r.cur], e)
+}
+
+// peerConfig is the per-processor slice of a cluster run's configuration.
+type peerConfig struct {
+	id          ident.ProcID
+	n, t        int
+	transmitter ident.ProcID
+	phases      int
+	timeout     time.Duration
+	muted       bool
+	faulty      ident.Set
+}
+
 // peer is one processor's runtime: listener, outbound connections, inbound
 // frame buffers keyed by phase.
 type peer struct {
-	id      ident.ProcID
-	cfg     Config
+	cfg     peerConfig
 	node    sim.Node
 	ln      net.Listener
-	phases  int
+	rec     *phaseRecorder // nil when tracing is disabled
 	onSend  func(phase int, from ident.ProcID, sigTotal, signers, bytes int)
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -190,10 +283,10 @@ type peer struct {
 	arrived map[int]ident.Set                       // phase -> senders heard from
 }
 
-func newPeer(id ident.ProcID, cfg Config, node sim.Node, ln net.Listener, phases int,
+func newPeer(cfg peerConfig, node sim.Node, ln net.Listener, rec *phaseRecorder,
 	onSend func(int, ident.ProcID, int, int, int)) *peer {
 	p := &peer{
-		id: id, cfg: cfg, node: node, ln: ln, phases: phases, onSend: onSend,
+		cfg: cfg, node: node, ln: ln, rec: rec, onSend: onSend,
 		inbound: make(map[int]map[ident.ProcID][]sim.Envelope),
 		arrived: make(map[int]ident.Set),
 	}
@@ -218,8 +311,8 @@ func (p *peer) noteFrame(phase int, from ident.ProcID, msgs []sim.Envelope) {
 // waitPhase blocks until frames for the phase arrived from all peers or the
 // timeout fires; it returns the inbox.
 func (p *peer) waitPhase(phase int) []sim.Envelope {
-	deadline := time.Now().Add(p.cfg.PhaseTimeout)
-	timer := time.AfterFunc(p.cfg.PhaseTimeout, func() {
+	deadline := time.Now().Add(p.cfg.timeout)
+	timer := time.AfterFunc(p.cfg.timeout, func() {
 		p.mu.Lock()
 		defer p.mu.Unlock()
 		p.cond.Broadcast()
@@ -228,7 +321,7 @@ func (p *peer) waitPhase(phase int) []sim.Envelope {
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	want := p.cfg.N - 1
+	want := p.cfg.n - 1
 	for p.arrived[phase].Len() < want && time.Now().Before(deadline) {
 		p.cond.Wait()
 	}
@@ -255,7 +348,7 @@ func (p *peer) acceptLoop(done <-chan struct{}) {
 					return
 				default:
 				}
-				phase, from, msgs, err := readFrame(c, p.id)
+				phase, from, msgs, err := readFrame(c, p.cfg.id)
 				if err != nil {
 					return
 				}
@@ -274,7 +367,7 @@ func (p *peer) run(ctx context.Context, addrs []string) error {
 	// Dial the mesh.
 	conns := make([]net.Conn, len(addrs))
 	for i, addr := range addrs {
-		if ident.ProcID(i) == p.id {
+		if ident.ProcID(i) == p.cfg.id {
 			continue
 		}
 		var err error
@@ -297,33 +390,57 @@ func (p *peer) run(ctx context.Context, addrs []string) error {
 		}
 	}()
 
-	for phase := 1; phase <= p.phases+1; phase++ {
+	for phase := 1; phase <= p.cfg.phases+1; phase++ {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if p.rec != nil {
+			p.rec.cur = phase
 		}
 		var inbox []sim.Envelope
 		if phase > 1 {
 			inbox = p.waitPhase(phase - 1)
 		}
 		sortInbox(inbox)
+		if p.rec != nil {
+			// Mirror the engine: one Deliver event per envelope handed to
+			// Step, stamped with the wall phase of the delivery.
+			for i := range inbox {
+				p.rec.Emit(trace.Event{
+					Kind: trace.KindDeliver, Phase: phase, From: inbox[i].From, To: inbox[i].To,
+					Sigs: inbox[i].SigTotal, Signers: len(inbox[i].Signers), Bytes: len(inbox[i].Payload),
+				})
+			}
+		}
 
 		// Buffer sends per recipient for this phase.
 		outgoing := make(map[ident.ProcID][]sim.Envelope)
-		nctx := sim.NewContext(p.id, p.cfg.N, p.cfg.T, p.cfg.Transmitter, phase, p.phases, func(e sim.Envelope) {
+		nctx := sim.NewContext(p.cfg.id, p.cfg.n, p.cfg.t, p.cfg.transmitter, phase, p.cfg.phases, func(e sim.Envelope) {
 			p.onSend(e.Phase, e.From, e.SigTotal, len(e.Signers), len(e.Payload))
+			if p.rec != nil {
+				p.rec.Emit(trace.Event{
+					Kind: trace.KindSend, Phase: e.Phase, From: e.From, To: e.To,
+					Sigs: e.SigTotal, Signers: len(e.Signers), Bytes: len(e.Payload),
+					Flag: p.cfg.faulty.Has(e.From),
+				})
+			}
 			outgoing[e.To] = append(outgoing[e.To], e)
 		})
+		if p.rec != nil {
+			// Route adversary send-filter drops (KindOmit) to the recorder.
+			nctx = nctx.WithTrace(p.rec)
+		}
 		if err := p.node.Step(nctx, inbox); err != nil {
 			return fmt.Errorf("phase %d: %w", phase, err)
 		}
 
 		// Flush one frame (possibly empty) to every peer.
-		if phase <= p.phases && !p.cfg.Mute.Has(p.id) {
+		if phase <= p.cfg.phases && !p.cfg.muted {
 			for i, conn := range conns {
 				if conn == nil {
 					continue
 				}
-				if err := writeFrame(conn, phase, p.id, outgoing[ident.ProcID(i)]); err != nil {
+				if err := writeFrame(conn, phase, p.cfg.id, outgoing[ident.ProcID(i)]); err != nil {
 					return fmt.Errorf("phase %d send to %d: %w", phase, i, err)
 				}
 			}
