@@ -4,12 +4,14 @@
 #   make bench       - tier-1 benchmarks; archives machine-readable results in BENCH_001.json
 #   make bench-trace - tracing-overhead benchmark; archives results in BENCH_002.json
 #   make test        - plain test run (no race detector)
+#   make bench-service - serving-layer throughput benchmark; archives BENCH_003.json
 #   make baexp       - regenerate every evaluation table
 #   make trace-smoke - end-to-end trace pipeline check (basim -trace → batrace)
+#   make fuzz        - run every fuzz target on a short fixed budget
 
 GO ?= go
 
-.PHONY: check test bench bench-trace baexp trace-smoke
+.PHONY: check test bench bench-trace bench-service baexp trace-smoke fuzz
 
 check:
 	$(GO) build ./...
@@ -43,13 +45,30 @@ bench-trace:
 baexp:
 	$(GO) run ./cmd/baexp
 
+# Amortized serving cost: messages/signatures per decided value at batch
+# sizes 1/4/16 under a saturated service, archived machine-readable.
+bench-service:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -bench 'BenchmarkServiceThroughput' -benchtime=200x -benchmem -run '^$$' ./internal/service/ \
+	| /tmp/benchjson -label current > BENCH_003.json
+
+# Short fixed-budget fuzzing of every decoder that touches attacker-supplied
+# bytes: the wire codec (seeded from captured real-run envelopes) and the
+# signature-chain unmarshalers. `go test -fuzz` accepts one target per run.
+fuzz:
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz 'FuzzFrameBodyDecode$$' -fuzztime 20s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz 'FuzzReaderPrimitives$$' -fuzztime 10s
+	$(GO) test ./internal/sig/ -run '^$$' -fuzz 'FuzzUnmarshalSignedValue$$' -fuzztime 10s
+	$(GO) test ./internal/sig/ -run '^$$' -fuzz 'FuzzUnmarshalSignedBytes$$' -fuzztime 10s
+	$(GO) test ./internal/sig/ -run '^$$' -fuzz 'FuzzChainVerifyNeverAcceptsUnsigned$$' -fuzztime 10s
+
 # End-to-end smoke of the trace pipeline: run basim with -trace (which
 # itself fails if the trace disagrees with metrics.Report), then parse and
 # summarize the JSONL with batrace. Exercises both transports.
 trace-smoke:
 	$(GO) build -o /tmp/basim ./cmd/basim
 	$(GO) build -o /tmp/batrace ./cmd/batrace
-	/tmp/basim -protocol alg1 -t 3 -adversary split-brain -trace /tmp/byzex-smoke-mem.jsonl
-	/tmp/batrace -counts /tmp/byzex-smoke-mem.jsonl
+	/tmp/basim -protocol alg1 -t 3 -adversary split-brain -trace /tmp/byzex-smoke-mem.jsonl -metrics /tmp/byzex-smoke-mem-metrics.json
+	/tmp/batrace -counts -report /tmp/byzex-smoke-mem-metrics.json /tmp/byzex-smoke-mem.jsonl
 	/tmp/basim -protocol dolev-strong -n 8 -t 2 -transport tcp -adversary silent -trace /tmp/byzex-smoke-tcp.jsonl
 	/tmp/batrace /tmp/byzex-smoke-tcp.jsonl

@@ -1,0 +1,155 @@
+// Command baload drives a closed-loop load against a running baserve: each
+// connection keeps exactly one request outstanding, retrying backpressure
+// rejections, and the run ends with throughput, latency percentiles, and
+// the amortized correct-sender message/signature cost per decided value.
+//
+//	baload -addr 127.0.0.1:9440 -c 100 -requests 3
+//	baload -addr 127.0.0.1:9440 -c 16 -verify -protocol alg1 -n 7 -t 3
+//
+// With -verify, every distinct instance observed in the replies is
+// re-executed serially with core.Run on the (seed, packed value) the server
+// reported; the template flags must match the server's. Any divergence in
+// the decided value or the correct-sender message/signature counts is a
+// verification failure and the exit code is non-zero.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"byzex/internal/cli"
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("baload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:9440", "baserve address")
+		conns    = fs.Int("c", 16, "concurrent connections (closed loop)")
+		requests = fs.Int("requests", 8, "successful submissions per connection")
+		mod      = fs.Int("mod", 2, "values cycle over [0,mod); keep 2 for binary protocols")
+		verify   = fs.Bool("verify", false, "re-run every observed instance serially and compare")
+
+		// Template flags, only consulted with -verify; they must match the
+		// serving baserve (the seed comes from each reply).
+		protoName = fs.String("protocol", "alg1", "server's protocol: "+strings.Join(cli.ProtocolNames(), "|"))
+		n         = fs.Int("n", 0, "server's processor count (default 2t+1)")
+		t         = fs.Int("t", 2, "server's fault bound")
+		s         = fs.Int("s", 0, "server's set/tree size parameter")
+		advName   = fs.String("adversary", "none", "server's adversary")
+		schemeStr = fs.String("scheme", "hmac", "server's signature scheme")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *mod < 1 {
+		*mod = 1
+	}
+
+	load, err := service.RunLoad(context.Background(), service.LoadConfig{
+		Addr:     *addr,
+		Conns:    *conns,
+		Requests: *requests,
+		ValueFor: func(c, i int) ident.Value { return ident.Value((c + i) % *mod) },
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "submitted: %d ok, %d backpressure retries, %d distinct instances\n",
+		load.Submitted, load.Rejected, len(load.Instances))
+	fmt.Fprintf(stdout, "throughput: %.1f values/s over %v\n", load.Throughput(), load.Elapsed.Round(load.Elapsed/1000+1))
+	fmt.Fprintf(stdout, "latency: p50=%v p90=%v p99=%v\n",
+		load.Percentile(50), load.Percentile(90), load.Percentile(99))
+	fmt.Fprintf(stdout, "amortized: %.2f msgs/value %.2f sigs/value (%d values, %d msgs, %d sigs)\n",
+		load.AmortizedMsgsPerValue(), amortizedSigs(load), load.ValuesServed, load.MsgsTotal, load.SigsTotal)
+
+	if !*verify {
+		return 0
+	}
+	if *n == 0 {
+		*n = 2**t + 1
+	}
+	params := cli.Params{N: *n, T: *t, S: *s}
+	proto, err := cli.Protocol(*protoName, params)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	adv, err := cli.Adversary(*advName, params)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	scheme, err := cli.Scheme(*schemeStr, params)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	tmpl := core.Config{Protocol: proto, N: *n, T: *t, Scheme: scheme, Adversary: adv}
+	if bad := verifyInstances(stdout, stderr, tmpl, load.Instances); bad > 0 {
+		fmt.Fprintf(stderr, "verify: %d/%d instances diverged from serial re-execution\n", bad, len(load.Instances))
+		return 1
+	}
+	fmt.Fprintf(stdout, "verify: %d instances match serial core.Run exactly\n", len(load.Instances))
+	return 0
+}
+
+// verifyInstances re-runs each served instance with core.Run on the same
+// seed and packed value and counts divergences.
+func verifyInstances(stdout, stderr *os.File, tmpl core.Config, instances map[uint64]service.Reply) int {
+	ids := make([]uint64, 0, len(instances))
+	for id := range instances {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	bad := 0
+	for _, id := range ids {
+		reply := instances[id]
+		cfg := tmpl
+		cfg.Value = reply.Packed
+		cfg.Seed = reply.Seed
+		serial, err := core.Run(context.Background(), cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "verify: instance %d: serial run: %v\n", id, err)
+			bad++
+			continue
+		}
+		decided, err := serial.Decision(cfg.Transmitter, cfg.Value)
+		if err != nil {
+			fmt.Fprintf(stderr, "verify: instance %d: %v\n", id, err)
+			bad++
+			continue
+		}
+		if decided != reply.Decided {
+			fmt.Fprintf(stderr, "verify: instance %d: served decision %v, serial %v\n", id, reply.Decided, decided)
+			bad++
+			continue
+		}
+		if serial.Sim.Report.MessagesCorrect != reply.Msgs || serial.Sim.Report.SignaturesCorrect != reply.Sigs {
+			fmt.Fprintf(stderr, "verify: instance %d: served msgs/sigs %d/%d, serial %d/%d\n",
+				id, reply.Msgs, reply.Sigs, serial.Sim.Report.MessagesCorrect, serial.Sim.Report.SignaturesCorrect)
+			bad++
+		}
+	}
+	return bad
+}
+
+func amortizedSigs(ls *service.LoadStats) float64 {
+	if ls.ValuesServed == 0 {
+		return 0
+	}
+	return float64(ls.SigsTotal) / float64(ls.ValuesServed)
+}

@@ -1,0 +1,159 @@
+// Command baserve runs the multi-instance Byzantine Agreement service:
+// it listens on a TCP address, admits values over a newline-delimited
+// protocol (see internal/service), and serves each batch of values as one
+// agreement instance over the chosen substrate.
+//
+// Flags mirror basim for the protocol template; the serving knobs are new:
+//
+//	baserve -protocol alg1 -n 7 -t 3 -addr :9000
+//	baserve -protocol alg1-multi -t 3 -batch 16 -linger 2ms -inflight 8
+//	baserve -protocol dolev-strong -n 16 -t 4 -transport tcp
+//
+// SIGINT/SIGTERM drains: admitted values still decide, new submissions are
+// rejected with "ERR draining", and the process exits once the queue is
+// empty.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"byzex/internal/cli"
+	"byzex/internal/core"
+	"byzex/internal/service"
+	"byzex/internal/trace"
+	"byzex/internal/transport"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("baserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		protoName = fs.String("protocol", "alg1", "protocol: "+strings.Join(cli.ProtocolNames(), "|"))
+		n         = fs.Int("n", 0, "number of processors (default 2t+1)")
+		t         = fs.Int("t", 2, "fault bound")
+		s         = fs.Int("s", 0, "set/tree size parameter for alg3/alg5 (default t)")
+		advName   = fs.String("adversary", "none", "adversary: "+strings.Join(cli.AdversaryNames(), "|"))
+		schemeStr = fs.String("scheme", "hmac", "signature scheme: hmac|ed25519|plain")
+		trans     = fs.String("transport", "memory", "substrate per instance: memory|tcp")
+		seed      = fs.Int64("seed", 1, "base seed; instance i runs with seed+i")
+		addr      = fs.String("addr", "127.0.0.1:9440", "listen address")
+		batch     = fs.Int("batch", 1, "max values coalesced into one instance")
+		linger    = fs.Duration("linger", 0, "how long to wait for a batch to fill")
+		queue     = fs.Int("queue", 64, "admission queue depth")
+		inflight  = fs.Int("inflight", 0, "max concurrently executing instances (default GOMAXPROCS)")
+		tracePath = fs.String("trace", "", "write the service execution trace (JSONL) to this file on drain")
+		verbose   = fs.Bool("v", false, "print the trace summary table on drain")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *n == 0 {
+		*n = 2**t + 1
+	}
+	params := cli.Params{N: *n, T: *t, S: *s, Seed: *seed}
+	proto, err := cli.Protocol(*protoName, params)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	adv, err := cli.Adversary(*advName, params)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	scheme, err := cli.Scheme(*schemeStr, params)
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	runFn := service.RunSim
+	switch *trans {
+	case "memory":
+	case "tcp":
+		runFn = service.RunTCP(transport.Net{})
+	default:
+		return fail(stderr, fmt.Errorf("unknown transport %q", *trans))
+	}
+
+	var (
+		traceBuf *trace.Buffer
+		sink     trace.Sink
+	)
+	if *tracePath != "" {
+		traceBuf = trace.NewBuffer()
+		sink = traceBuf
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	svc, err := service.New(ctx, service.Config{
+		Template: core.Config{
+			Protocol: proto, N: *n, T: *t,
+			Scheme: scheme, Adversary: adv, Seed: *seed,
+		},
+		Run:         runFn,
+		MaxInFlight: *inflight,
+		QueueDepth:  *queue,
+		BatchSize:   *batch,
+		Linger:      *linger,
+		Trace:       sink,
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "baserve: %s n=%d t=%d batch=%d listening on %s\n",
+		*protoName, *n, *t, *batch, ln.Addr())
+
+	start := time.Now()
+	if err := service.Serve(ctx, ln, svc); err != nil {
+		return fail(stderr, err)
+	}
+	svc.Close()
+
+	st := svc.Stats()
+	fmt.Fprintf(stdout, "drained after %v: %s\n", time.Since(start).Round(time.Millisecond), st.String())
+	if traceBuf != nil {
+		sum := trace.Summarize(traceBuf.Events())
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := trace.WriteJSONL(f, traceBuf.Events()); err != nil {
+			_ = f.Close()
+			return fail(stderr, err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "trace: %s (%d events)\n", *tracePath, traceBuf.Len())
+		if *verbose {
+			fmt.Fprint(stdout, sum.Table())
+		}
+	} else if *verbose {
+		fmt.Fprintf(stdout, "amortized: %.2f msgs/value %.2f sigs/value\n",
+			st.AmortizedMessagesPerValue(), st.AmortizedSignaturesPerValue())
+	}
+	return 0
+}
+
+func fail(stderr *os.File, err error) int {
+	fmt.Fprintln(stderr, err)
+	return 1
+}

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +41,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-phase message counts")
 		dump      = flag.String("dump", "", "write the full message transcript (JSON) to this file (memory transport only)")
 		tracePath = flag.String("trace", "", "write the structured execution trace (JSONL) to this file")
+		metricsTo = flag.String("metrics", "", "write the metrics report (JSON) to this file, for batrace -report")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
@@ -134,6 +136,16 @@ func main() {
 		if err := writeTrace(*tracePath, traceBuf, report, *verbose); err != nil {
 			fail(err)
 		}
+	}
+	if *metricsTo != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*metricsTo, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("metrics report: %s\n", *metricsTo)
 	}
 	if err := prof.Stop(); err != nil {
 		fail(err)

@@ -5,40 +5,57 @@
 //
 // Usage:
 //
-//	basim -protocol alg1 -t 4 -trace run.jsonl
+//	basim -protocol alg1 -t 4 -trace run.jsonl -metrics run-metrics.json
 //	batrace run.jsonl
-//	batrace -counts run.jsonl   # also print per-kind event counts
+//	batrace -counts run.jsonl                  # also print per-kind event counts
+//	batrace -report run-metrics.json run.jsonl # cross-check against the run's metrics
+//
+// With -report, the trace's per-phase attribution is checked against the
+// metrics.Report the run collected; any disagreement means the trace wiring
+// and the metrics wiring diverged, and batrace exits non-zero so CI fails.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
+	"byzex/internal/metrics"
 	"byzex/internal/trace"
 )
 
 func main() {
-	counts := flag.Bool("counts", false, "print per-kind event counts")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: batrace [-counts] <trace.jsonl>")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("batrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	counts := fs.Bool("counts", false, "print per-kind event counts")
+	reportPath := fs.String("report", "", "metrics.Report JSON to cross-check the trace against")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	path := flag.Arg(0)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: batrace [-counts] [-report metrics.json] <trace.jsonl>")
+		return 2
+	}
+	path := fs.Arg(0)
 
 	f, err := os.Open(path)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
 	events, err := trace.ReadJSONL(f)
 	_ = f.Close()
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
 
-	fmt.Printf("%s: %d events\n", path, len(events))
+	fmt.Fprintf(stdout, "%s: %d events\n", path, len(events))
 	if *counts {
 		byKind := make(map[string]int)
 		for _, e := range events {
@@ -50,13 +67,39 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			fmt.Printf("  %-12s %d\n", name, byKind[name])
+			fmt.Fprintf(stdout, "  %-12s %d\n", name, byKind[name])
 		}
 	}
-	fmt.Print(trace.Summarize(events).Table())
+	sum := trace.Summarize(events)
+	fmt.Fprint(stdout, sum.Table())
+
+	if *reportPath != "" {
+		report, err := readReport(*reportPath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := sum.CheckReport(report); err != nil {
+			fmt.Fprintf(stderr, "batrace: trace disagrees with metrics: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "report: consistent with %s\n", *reportPath)
+	}
+	return 0
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+func readReport(path string) (metrics.Report, error) {
+	var report metrics.Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return report, err
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		return report, fmt.Errorf("batrace: parsing %s: %w", path, err)
+	}
+	return report, nil
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, err)
+	return 1
 }

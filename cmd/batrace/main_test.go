@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"byzex/internal/core"
+	"byzex/internal/metrics"
+	"byzex/internal/protocols/alg1"
+	"byzex/internal/trace"
+)
+
+// writeRun produces a real trace JSONL and the matching metrics report,
+// returning both paths and the report for tampering.
+func writeRun(t *testing.T) (tracePath, reportPath string, report metrics.Report) {
+	t.Helper()
+	buf := trace.NewBuffer()
+	res, err := core.Run(context.Background(), core.Config{
+		Protocol: alg1.Protocol{}, N: 7, T: 3, Value: 1, Seed: 11, Trace: buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report = res.Sim.Report
+
+	dir := t.TempDir()
+	tracePath = filepath.Join(dir, "run.jsonl")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSONL(f, buf.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reportPath = filepath.Join(dir, "metrics.json")
+	writeReport(t, reportPath, report)
+	return tracePath, reportPath, report
+}
+
+func writeReport(t *testing.T, path string, report metrics.Report) {
+	t.Helper()
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReportConsistent(t *testing.T) {
+	tracePath, reportPath, _ := writeRun(t)
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{"-report", reportPath, tracePath}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "consistent with") {
+		t.Fatalf("missing consistency line in output:\n%s", stdout.String())
+	}
+}
+
+func TestRunReportMismatchExitsNonZero(t *testing.T) {
+	tracePath, reportPath, report := writeRun(t)
+	// Tamper: claim one fewer correct message than the trace attributes.
+	report.MessagesCorrect--
+	if len(report.PerPhase) > 1 {
+		report.PerPhase[1].MessagesCorrect--
+	}
+	writeReport(t, reportPath, report)
+
+	var stdout, stderr bytes.Buffer
+	rc := run([]string{"-report", reportPath, tracePath}, &stdout, &stderr)
+	if rc == 0 {
+		t.Fatalf("tampered report accepted; stdout:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "disagrees with metrics") {
+		t.Fatalf("mismatch not diagnosed on stderr: %s", stderr.String())
+	}
+}
+
+func TestRunWithoutReportStillSummarizes(t *testing.T) {
+	tracePath, _, _ := writeRun(t)
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{"-counts", tracePath}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "events") {
+		t.Fatalf("missing event count:\n%s", stdout.String())
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if rc := run(nil, &stdout, &stderr); rc != 2 {
+		t.Fatalf("no-args exit %d, want 2", rc)
+	}
+}

@@ -1,0 +1,113 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrStreamClosed indicates a Submit after Close.
+var ErrStreamClosed = errors.New("runner: stream closed")
+
+// Stream is the open-ended counterpart of Map: jobs are submitted over time
+// rather than as a fixed index range, execute with the pool's concurrency
+// bound, and their results are delivered strictly in submission order. A
+// long-running orchestrator (the agreement serving layer) therefore observes
+// exactly the outcomes of the serial loop regardless of how the scheduler
+// interleaves the jobs — the same determinism contract Map gives sweeps.
+//
+// Submit blocks while all worker slots are busy, which propagates the
+// executor's capacity upstream (the caller's own admission queue fills and
+// starts rejecting) instead of letting an unbounded number of goroutines
+// pile up.
+type Stream[T any] struct {
+	deliver func(seq uint64, v T, err error)
+	slots   chan struct{}
+
+	mu      sync.Mutex
+	nextSub uint64 // next sequence number to assign
+	nextDel uint64 // next sequence number to deliver
+	pending map[uint64]streamResult[T]
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+type streamResult[T any] struct {
+	v   T
+	err error
+}
+
+// NewStream builds a stream executor on p's concurrency bound. deliver is
+// invoked exactly once per submitted job, in submission order, from whichever
+// worker goroutine completes the next deliverable sequence; invocations never
+// overlap, so deliver needs no internal locking, but it must not call back
+// into Submit or Close.
+func NewStream[T any](p *Pool, deliver func(seq uint64, v T, err error)) *Stream[T] {
+	return &Stream[T]{
+		deliver: deliver,
+		slots:   make(chan struct{}, p.workers),
+		pending: make(map[uint64]streamResult[T]),
+	}
+}
+
+// Submit schedules fn and returns its sequence number. It blocks until a
+// worker slot is free (backpressure) or ctx is done; a job observes the ctx
+// passed to its own Submit call.
+func (s *Stream[T]) Submit(ctx context.Context, fn func(ctx context.Context) (T, error)) (uint64, error) {
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.slots
+		return 0, ErrStreamClosed
+	}
+	seq := s.nextSub
+	s.nextSub++
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.wg.Done()
+		v, err := fn(ctx)
+		<-s.slots
+		s.complete(seq, v, err)
+	}()
+	return seq, nil
+}
+
+// complete records a finished job and flushes every consecutive result that
+// is now deliverable, preserving submission order.
+func (s *Stream[T]) complete(seq uint64, v T, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending[seq] = streamResult[T]{v: v, err: err}
+	for {
+		r, ok := s.pending[s.nextDel]
+		if !ok {
+			return
+		}
+		delete(s.pending, s.nextDel)
+		s.deliver(s.nextDel, r.v, r.err)
+		s.nextDel++
+	}
+}
+
+// Close stops accepting new jobs and blocks until every submitted job has
+// executed and been delivered. It is idempotent.
+func (s *Stream[T]) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// InFlight reports how many submitted jobs have not yet been delivered.
+func (s *Stream[T]) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.nextSub - s.nextDel)
+}

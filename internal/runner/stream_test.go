@@ -1,0 +1,125 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStreamDeliversInSubmissionOrder submits jobs that finish in a
+// scrambled order and asserts delivery happens strictly by sequence.
+func TestStreamDeliversInSubmissionOrder(t *testing.T) {
+	const jobs = 100
+	var (
+		mu     sync.Mutex
+		seqs   []uint64
+		values []int
+	)
+	s := NewStream(New(8), func(seq uint64, v int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			t.Errorf("job %d: %v", seq, err)
+		}
+		seqs = append(seqs, seq)
+		values = append(values, v)
+	})
+	rng := rand.New(rand.NewSource(42))
+	ctx := context.Background()
+	for i := 0; i < jobs; i++ {
+		delay := time.Duration(rng.Intn(3)) * time.Millisecond
+		i := i
+		seq, err := s.Submit(ctx, func(context.Context) (int, error) {
+			time.Sleep(delay)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("submit %d got seq %d", i, seq)
+		}
+	}
+	s.Close()
+	if len(seqs) != jobs {
+		t.Fatalf("delivered %d of %d", len(seqs), jobs)
+	}
+	for i, seq := range seqs {
+		if seq != uint64(i) {
+			t.Fatalf("delivery %d carried seq %d", i, seq)
+		}
+		if values[i] != i*i {
+			t.Fatalf("delivery %d carried value %d", i, values[i])
+		}
+	}
+	if s.InFlight() != 0 {
+		t.Fatalf("in-flight after close: %d", s.InFlight())
+	}
+}
+
+// TestStreamErrorsAreDeliveredInOrder checks job errors flow through deliver
+// without disturbing ordering.
+func TestStreamErrorsAreDeliveredInOrder(t *testing.T) {
+	boom := errors.New("boom")
+	var (
+		mu   sync.Mutex
+		errs []error
+	)
+	s := NewStream(New(4), func(seq uint64, _ struct{}, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		errs = append(errs, err)
+	})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.Submit(ctx, func(context.Context) (struct{}, error) {
+			if i%3 == 0 {
+				return struct{}{}, boom
+			}
+			return struct{}{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	for i, err := range errs {
+		want := i%3 == 0
+		if got := errors.Is(err, boom); got != want {
+			t.Fatalf("job %d: err=%v", i, err)
+		}
+	}
+}
+
+// TestStreamSubmitAfterCloseRejected pins the typed error.
+func TestStreamSubmitAfterCloseRejected(t *testing.T) {
+	s := NewStream(New(1), func(uint64, int, error) {})
+	s.Close()
+	if _, err := s.Submit(context.Background(), func(context.Context) (int, error) { return 0, nil }); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("got %v, want ErrStreamClosed", err)
+	}
+}
+
+// TestStreamSubmitBackpressure verifies Submit blocks when all slots are
+// busy and unblocks via context cancellation.
+func TestStreamSubmitBackpressure(t *testing.T) {
+	s := NewStream(New(1), func(uint64, int, error) {})
+	release := make(chan struct{})
+	ctx := context.Background()
+	if _, err := s.Submit(ctx, func(context.Context) (int, error) {
+		<-release
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.Submit(cctx, func(context.Context) (int, error) { return 0, nil }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded while slots are busy", err)
+	}
+	close(release)
+	s.Close()
+}

@@ -1,0 +1,36 @@
+package service
+
+import (
+	"hash/fnv"
+
+	"byzex/internal/ident"
+	"byzex/internal/wire"
+)
+
+// PackValues maps a batch of submitted values onto the single value one
+// agreement instance decides. Byzantine Agreement decides one value per
+// execution; batching amortizes the per-instance Ω(nt) signature and
+// Ω(n+t²) message costs by letting k submissions share one execution, in
+// the style of block-based replication: the processors agree on a canonical
+// digest of the batch, and the service — which formed the batch and knows
+// its contents — resolves each member against the decided digest.
+//
+// A singleton batch packs to the value itself, so a batch-size-1 service is
+// observationally identical to running core.Run per submission (the
+// property the determinism tests and `baload -verify` pin down). Larger
+// batches pack to an FNV-1a digest of the canonical wire encoding of the
+// value vector; the encoding is injective and the digest deterministic, so
+// every correct processor of an instance is handed the same packed value.
+func PackValues(vs []ident.Value) ident.Value {
+	if len(vs) == 1 {
+		return vs[0]
+	}
+	w := wire.NewWriter(2 + 9*len(vs))
+	w.Uint(uint64(len(vs)))
+	for _, v := range vs {
+		w.Value(v)
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(w.Bytes())
+	return ident.Value(h.Sum64())
+}

@@ -1,0 +1,73 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/protocols/alg1"
+	"byzex/internal/service"
+)
+
+// BenchmarkServiceThroughput measures decided values per second through the
+// full serving pipeline (admission queue → batcher → bounded executor) on
+// the in-memory substrate, and reports the amortized correct-sender message
+// and signature cost per decided value. Batching is the lever the paper's
+// per-instance lower bounds leave open: Ω(nt) signatures and Ω(n+t²)
+// messages are paid per agreement instance, so k values per instance divide
+// the constant by k — visible here as msgs/value falling with batch size.
+func BenchmarkServiceThroughput(b *testing.B) {
+	for _, batch := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			ctx := context.Background()
+			cfg := service.Config{
+				Template:   core.Config{Protocol: alg1.MultiProtocol{}, N: 7, T: 3, Seed: 99},
+				BatchSize:  batch,
+				QueueDepth: 1024,
+			}
+			if batch > 1 {
+				cfg.Linger = 100 * time.Microsecond
+			}
+			svc, err := service.New(ctx, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// A closed loop needs enough outstanding submitters to fill a
+			// batch regardless of GOMAXPROCS (the loop blocks in SubmitWait,
+			// so the goroutines cost scheduling, not CPU).
+			b.SetParallelism(2 * 16)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					v := ident.Value(i % 251)
+					i++
+					for {
+						_, err := svc.SubmitWait(ctx, v)
+						if errors.Is(err, service.ErrQueueFull) {
+							time.Sleep(50 * time.Microsecond)
+							continue
+						}
+						if err != nil {
+							b.Error(err)
+						}
+						break
+					}
+				}
+			})
+			b.StopTimer()
+			svc.Close()
+			st := svc.Stats()
+			if st.ValuesDecided < uint64(b.N) {
+				b.Fatalf("decided %d of %d values", st.ValuesDecided, b.N)
+			}
+			b.ReportMetric(st.AmortizedMessagesPerValue(), "msgs/value")
+			b.ReportMetric(st.AmortizedSignaturesPerValue(), "sigs/value")
+			b.ReportMetric(float64(st.ValuesDecided)/float64(st.Instances), "values/instance")
+		})
+	}
+}

@@ -1,0 +1,273 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"byzex/internal/ident"
+)
+
+// Reply is the parsed OK response to one submission: enough to re-execute
+// the instance serially (Seed, Packed) and to account amortized costs
+// (Batch, Msgs, Sigs). Replies of the same batch share an InstanceID.
+type Reply struct {
+	InstanceID uint64
+	Seed       int64
+	Batch      int
+	Packed     ident.Value
+	Decided    ident.Value
+	Committed  bool
+	Msgs       int
+	Sigs       int
+}
+
+// Client is one connection to a Service's line protocol (see Serve).
+// Requests on a client are sequential; open several clients for
+// concurrency. Not safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// DialClient connects to a serving address.
+func DialClient(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Submit sends one value and waits for its reply. Backpressure rejections
+// come back as the service's own typed errors (ErrQueueFull, ErrDraining),
+// so callers retry or shed exactly as an in-process submitter would.
+func (c *Client) Submit(v ident.Value) (Reply, error) {
+	if _, err := fmt.Fprintf(c.conn, "%d\n", int64(v)); err != nil {
+		return Reply{}, err
+	}
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		return Reply{}, err
+	}
+	return parseReply(strings.TrimSpace(line))
+}
+
+// Stats fetches the server's one-line stats snapshot.
+func (c *Client) Stats() (string, error) {
+	if _, err := fmt.Fprintln(c.conn, "stats"); err != nil {
+		return "", err
+	}
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "STATS ")), nil
+}
+
+func parseReply(line string) (Reply, error) {
+	switch {
+	case line == "ERR full":
+		return Reply{}, ErrQueueFull
+	case line == "ERR draining":
+		return Reply{}, ErrDraining
+	case strings.HasPrefix(line, "ERR "):
+		return Reply{}, fmt.Errorf("service: server error: %s", strings.TrimPrefix(line, "ERR "))
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 9 || fields[0] != "OK" {
+		return Reply{}, fmt.Errorf("service: malformed reply %q", line)
+	}
+	var (
+		r    Reply
+		errs [8]error
+	)
+	r.InstanceID, errs[0] = strconv.ParseUint(fields[1], 10, 64)
+	r.Seed, errs[1] = strconv.ParseInt(fields[2], 10, 64)
+	var batch, committed int64
+	batch, errs[2] = strconv.ParseInt(fields[3], 10, 32)
+	var packed, decided int64
+	packed, errs[3] = strconv.ParseInt(fields[4], 10, 64)
+	decided, errs[4] = strconv.ParseInt(fields[5], 10, 64)
+	committed, errs[5] = strconv.ParseInt(fields[6], 10, 8)
+	var msgs, sigs int64
+	msgs, errs[6] = strconv.ParseInt(fields[7], 10, 64)
+	sigs, errs[7] = strconv.ParseInt(fields[8], 10, 64)
+	for _, err := range errs {
+		if err != nil {
+			return Reply{}, fmt.Errorf("service: malformed reply %q: %w", line, err)
+		}
+	}
+	r.Batch = int(batch)
+	r.Packed = ident.Value(packed)
+	r.Decided = ident.Value(decided)
+	r.Committed = committed == 1
+	r.Msgs = int(msgs)
+	r.Sigs = int(sigs)
+	return r, nil
+}
+
+// LoadConfig parameterizes a closed-loop load run.
+type LoadConfig struct {
+	// Addr is the serving address.
+	Addr string
+	// Conns is the number of concurrent connections (closed loop: each
+	// connection has exactly one request outstanding).
+	Conns int
+	// Requests is the number of successful submissions per connection.
+	Requests int
+	// ValueFor picks the value connection c submits as its i-th request
+	// (default: a deterministic mix of c and i).
+	ValueFor func(c, i int) ident.Value
+	// RetryWait is the backoff after an ErrQueueFull rejection before the
+	// same value is retried (default 200µs).
+	RetryWait time.Duration
+}
+
+// LoadStats aggregates a load run.
+type LoadStats struct {
+	// Submitted counts successful submissions; Rejected counts
+	// ErrQueueFull rejections that were retried.
+	Submitted int
+	Rejected  int
+	// Elapsed is the wall time of the whole run.
+	Elapsed time.Duration
+	// Latencies holds one client-observed round-trip per successful
+	// submission, ascending.
+	Latencies []time.Duration
+	// Instances indexes the distinct instances observed, by id.
+	Instances map[uint64]Reply
+	// ValuesServed sums batch sizes over distinct committed instances;
+	// MsgsTotal / SigsTotal sum their correct-sender costs. The quotient
+	// is the client-observed amortized cost per value.
+	ValuesServed int
+	MsgsTotal    int
+	SigsTotal    int
+}
+
+// Throughput returns successful submissions per second.
+func (ls *LoadStats) Throughput() float64 {
+	if ls.Elapsed <= 0 {
+		return 0
+	}
+	return float64(ls.Submitted) / ls.Elapsed.Seconds()
+}
+
+// Percentile returns the p-th latency percentile (0 < p <= 100).
+func (ls *LoadStats) Percentile(p float64) time.Duration {
+	if len(ls.Latencies) == 0 {
+		return 0
+	}
+	idx := int(p/100*float64(len(ls.Latencies))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ls.Latencies) {
+		idx = len(ls.Latencies) - 1
+	}
+	return ls.Latencies[idx]
+}
+
+// AmortizedMsgsPerValue returns the client-observed correct-sender messages
+// per served value.
+func (ls *LoadStats) AmortizedMsgsPerValue() float64 {
+	if ls.ValuesServed == 0 {
+		return 0
+	}
+	return float64(ls.MsgsTotal) / float64(ls.ValuesServed)
+}
+
+// RunLoad drives a closed-loop load against a serving address: Conns
+// connections each submit Requests values sequentially, retrying
+// backpressure rejections. The returned stats carry latency percentiles,
+// throughput and the amortized per-value costs of every distinct instance
+// observed.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
+	if cfg.Conns < 1 {
+		cfg.Conns = 1
+	}
+	if cfg.Requests < 1 {
+		cfg.Requests = 1
+	}
+	if cfg.ValueFor == nil {
+		cfg.ValueFor = func(c, i int) ident.Value { return ident.Value(c*1000 + i) }
+	}
+	if cfg.RetryWait <= 0 {
+		cfg.RetryWait = 200 * time.Microsecond
+	}
+
+	stats := &LoadStats{Instances: make(map[uint64]Reply)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Conns)
+	start := time.Now()
+	for c := 0; c < cfg.Conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs[c] = loadConn(ctx, cfg, c, stats, &mu)
+		}(c)
+	}
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	sort.Slice(stats.Latencies, func(i, j int) bool { return stats.Latencies[i] < stats.Latencies[j] })
+	for _, r := range stats.Instances {
+		if r.Committed {
+			stats.ValuesServed += r.Batch
+			stats.MsgsTotal += r.Msgs
+			stats.SigsTotal += r.Sigs
+		}
+	}
+	return stats, nil
+}
+
+func loadConn(ctx context.Context, cfg LoadConfig, c int, stats *LoadStats, mu *sync.Mutex) error {
+	cl, err := DialClient(cfg.Addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cl.Close() }()
+	for i := 0; i < cfg.Requests; i++ {
+		v := cfg.ValueFor(c, i)
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			begin := time.Now()
+			reply, err := cl.Submit(v)
+			if errors.Is(err, ErrQueueFull) {
+				mu.Lock()
+				stats.Rejected++
+				mu.Unlock()
+				time.Sleep(cfg.RetryWait)
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("conn %d request %d: %w", c, i, err)
+			}
+			lat := time.Since(begin)
+			mu.Lock()
+			stats.Submitted++
+			stats.Latencies = append(stats.Latencies, lat)
+			stats.Instances[reply.InstanceID] = reply
+			mu.Unlock()
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"byzex/internal/ident"
+)
+
+// The serving wire protocol is deliberately minimal: newline-delimited text
+// so a load generator (cmd/baload), netcat or a test can drive it without a
+// codec. One request per line:
+//
+//	<value>\n   submit the integer value, wait for its instance, reply
+//	stats\n     reply with a one-line Stats snapshot
+//
+// Replies:
+//
+//	OK <instance-id> <seed> <batch-size> <packed> <decided> <committed> <msgs-correct> <sigs-correct>\n
+//	ERR full\n | ERR draining\n | ERR <message>\n
+//	STATS <stats-line>\n
+//
+// The OK reply carries everything needed to re-execute the instance
+// serially (seed, packed value, and the template the operator already
+// knows) and to account amortized costs (batch size, correct-sender message
+// and signature counts) — the contract `baload -verify` checks.
+
+// Serve accepts connections on ln and serves svc's line protocol until ctx
+// is done or ln is closed; it returns nil on graceful shutdown. Each
+// connection is handled by its own goroutine; requests on one connection
+// are served sequentially (a closed loop), so concurrency is the number of
+// connections.
+func Serve(ctx context.Context, ln net.Listener, svc *Service) error {
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { _ = ln.Close() })
+		defer stop()
+	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { _ = conn.Close() }()
+			serveConn(ctx, conn, svc)
+		}()
+	}
+}
+
+func serveConn(ctx context.Context, conn net.Conn, svc *Service) {
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		reply := handleLine(ctx, svc, line)
+		if _, err := w.WriteString(reply + "\n"); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func handleLine(ctx context.Context, svc *Service, line string) string {
+	if strings.EqualFold(line, "stats") {
+		return "STATS " + svc.Stats().String()
+	}
+	v, err := strconv.ParseInt(line, 10, 64)
+	if err != nil {
+		return "ERR bad request: " + line
+	}
+	res, err := svc.SubmitWait(ctx, ident.Value(v))
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return "ERR full"
+	case errors.Is(err, ErrDraining):
+		return "ERR draining"
+	case err != nil && !errors.Is(err, ErrNotCommitted):
+		// Run or agreement failures are errors; a decided-but-uncommitted
+		// instance still gets an OK reply with committed=0 so the client
+		// sees what was agreed.
+		return "ERR " + err.Error()
+	}
+	inst := res.Instance
+	committed := 0
+	if res.Committed {
+		committed = 1
+	}
+	return fmt.Sprintf("OK %d %d %d %d %d %d %d %d",
+		inst.ID, inst.Config.Seed, len(inst.Values), int64(inst.Config.Value),
+		int64(res.Decided), committed, inst.Report.MessagesCorrect, inst.Report.SignaturesCorrect)
+}

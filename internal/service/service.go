@@ -1,0 +1,585 @@
+// Package service is the multi-instance Byzantine Agreement serving layer:
+// a long-running Service multiplexes many concurrent agreement instances
+// over one shared execution substrate (the in-memory engine or the TCP
+// mesh), amortizing the paper's per-instance information-exchange costs —
+// Ω(nt) signatures (Theorem 1), Ω(n+t²) messages (Theorems 2–4) — across a
+// stream of submitted values.
+//
+// The pipeline has three bounded stages:
+//
+//	Submit → admission queue → batcher → executor → in-order delivery
+//
+// Admission is a bounded queue with typed rejections (ErrQueueFull,
+// ErrDraining) — the backpressure surface. The batcher (one goroutine, so
+// instance ids are assigned deterministically in admission order) coalesces
+// up to BatchSize values into one Instance, waiting at most Linger for a
+// batch to fill; each instance agrees on the packed batch value (see
+// PackValues). The executor is a runner.Stream on a bounded pool: at most
+// MaxInFlight instances execute concurrently, and results are delivered in
+// instance-id order regardless of scheduling, the same submission-order
+// determinism contract runner.Map gives the evaluation sweeps. Close (or
+// cancellation of the context passed to New) drains gracefully: admission
+// stops, buffered requests are still dispatched, and Close returns only
+// after every in-flight instance has been delivered.
+//
+// Each instance derives its seed as Template.Seed + instance id, so any
+// instance the service ran can be re-executed serially with core.Run and
+// must produce byte-identical decisions — the property `baload -verify` and
+// the determinism tests check.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/metrics"
+	"byzex/internal/protocol"
+	"byzex/internal/runner"
+	"byzex/internal/sim"
+	"byzex/internal/trace"
+)
+
+// Typed admission rejections — the backpressure surface callers program
+// against (retry, shed, or block).
+var (
+	// ErrQueueFull rejects a submission because the bounded admission
+	// queue is at capacity.
+	ErrQueueFull = errors.New("service: admission queue full")
+	// ErrDraining rejects a submission because the service is shutting
+	// down and no longer admits work.
+	ErrDraining = errors.New("service: draining, not admitting")
+	// ErrNotCommitted reports that an instance reached agreement on a
+	// value other than the packed batch value (possible only when the
+	// template corrupts the transmitter): the submission's value was not
+	// served, even though the instance itself is a valid agreement.
+	ErrNotCommitted = errors.New("service: instance decided a different value")
+	// ErrBatchingUnsupported rejects a BatchSize > 1 configuration whose
+	// protocol only carries binary values: a packed batch digest is an
+	// arbitrary int64, so batching requires one of the multi-valued
+	// protocol variants (alg1-multi, alg4, dolev-strong, ...).
+	ErrBatchingUnsupported = errors.New("service: batching requires a multi-valued protocol")
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Template is the per-instance run description: Protocol, N, T,
+	// Transmitter, Scheme, Adversary, Rushing are used as-is; Value is
+	// replaced by the packed batch value, Seed becomes the base seed
+	// (instance i runs with Template.Seed + i), and Trace is ignored in
+	// favor of the service-level sink below.
+	Template core.Config
+	// Run executes one instance (default RunSim).
+	Run RunFunc
+	// MaxInFlight bounds how many instances execute concurrently; values
+	// below one select runtime.GOMAXPROCS(0) (see runner.New).
+	MaxInFlight int
+	// QueueDepth bounds the admission queue (default 64, minimum 1).
+	QueueDepth int
+	// BatchSize is the maximum number of submitted values coalesced into
+	// one instance (default 1 = no batching).
+	BatchSize int
+	// Linger bounds how long the batcher waits for a partial batch to
+	// fill once it holds at least one value. Zero means "don't wait":
+	// a batch is whatever is already queued, up to BatchSize.
+	Linger time.Duration
+	// Trace receives the serving-layer events (enqueue, reject,
+	// instance-start, instance-done). Emissions are serialized internally,
+	// so any sink works. Instance-internal events are only recorded when
+	// TraceInstances is also set.
+	Trace trace.Sink
+	// TraceInstances additionally runs every instance with a private
+	// trace buffer drained into Trace at delivery time — instance events
+	// therefore appear in instance-id order, bracketed by that instance's
+	// instance-done event, no matter how the executor interleaved the
+	// runs.
+	TraceInstances bool
+}
+
+// Instance is one scheduled agreement execution: the identity, the resolved
+// run configuration, and the batch of submitted values it serves.
+type Instance struct {
+	// ID is the instance's dense sequence number in admission order.
+	ID uint64
+	// Config is the fully-resolved core configuration the substrate ran:
+	// Value is the packed batch value and Seed is Template.Seed + ID.
+	Config core.Config
+	// Values are the submitted values the instance serves, in admission
+	// order. len(Values) is the batch size; Config.Value == PackValues(Values).
+	Values []ident.Value
+}
+
+// InstanceResult is the outcome of one instance, shared by every Result of
+// its batch.
+type InstanceResult struct {
+	Instance
+	// Decided is the common decision of the correct processors.
+	Decided ident.Value
+	// Committed reports that Decided equals the packed batch value, i.e.
+	// the submitted values were actually served.
+	Committed bool
+	// Decisions, Report and Faulty are the substrate outcome (see
+	// Outcome); Decisions lets callers compare a served instance
+	// byte-for-byte against a serial core.Run of the same Config.
+	Decisions map[ident.ProcID]sim.Decision
+	Report    metrics.Report
+	Faulty    ident.Set
+	// Err is the run or agreement-check failure, nil on success.
+	Err error
+}
+
+// Result resolves one submitted value.
+type Result struct {
+	// Value is the submitted value.
+	Value ident.Value
+	// Decided is the instance's common decision; equals Value when
+	// Committed (the usual case: correct transmitter).
+	Decided ident.Value
+	// Committed reports the batch containing Value was served.
+	Committed bool
+	// Instance is the shared outcome of the batch's instance.
+	Instance *InstanceResult
+	// Latency is the submit-to-delivery wall time.
+	Latency time.Duration
+	// Err is non-nil when the instance failed or did not commit.
+	Err error
+}
+
+// Stats is a snapshot of the service counters.
+type Stats struct {
+	// Submitted counts admitted values; RejectedFull / RejectedDraining
+	// count the two typed rejections.
+	Submitted        uint64
+	RejectedFull     uint64
+	RejectedDraining uint64
+	// Instances / InstancesFailed count delivered instances; ValuesDecided
+	// counts values resolved by committed instances.
+	Instances       uint64
+	InstancesFailed uint64
+	ValuesDecided   uint64
+	// QueueHighWater is the deepest the admission queue has been.
+	QueueHighWater int
+	// MessagesCorrect / SignaturesCorrect / BytesCorrect sum the
+	// per-instance metrics.Report counters over delivered instances — the
+	// numerators of the amortized per-value costs.
+	MessagesCorrect   uint64
+	SignaturesCorrect uint64
+	BytesCorrect      uint64
+	// MaxLatency / TotalLatency aggregate submit-to-delivery wall time
+	// over resolved values (TotalLatency / ValuesDecided is the mean).
+	MaxLatency   time.Duration
+	TotalLatency time.Duration
+}
+
+// AmortizedMessagesPerValue returns correct-sender messages per decided
+// value — the serving-layer form of the paper's per-instance Ω(n+t²) bound.
+func (s Stats) AmortizedMessagesPerValue() float64 {
+	if s.ValuesDecided == 0 {
+		return 0
+	}
+	return float64(s.MessagesCorrect) / float64(s.ValuesDecided)
+}
+
+// AmortizedSignaturesPerValue returns correct-sender signatures per decided
+// value (per-instance bound: Ω(nt), Theorem 1).
+func (s Stats) AmortizedSignaturesPerValue() float64 {
+	if s.ValuesDecided == 0 {
+		return 0
+	}
+	return float64(s.SignaturesCorrect) / float64(s.ValuesDecided)
+}
+
+// String renders a compact single-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("submitted=%d rejected=%d/%d instances=%d(failed %d) values=%d qhw=%d msgs/value=%.1f sigs/value=%.1f",
+		s.Submitted, s.RejectedFull, s.RejectedDraining, s.Instances, s.InstancesFailed,
+		s.ValuesDecided, s.QueueHighWater, s.AmortizedMessagesPerValue(), s.AmortizedSignaturesPerValue())
+}
+
+// request is one queued submission.
+type request struct {
+	value ident.Value
+	enq   time.Time
+	ch    chan Result // buffered(1); exactly one send per request
+}
+
+// completed pairs an instance outcome with the requests it resolves, so the
+// stream delivery callback can complete the futures in instance order.
+type completed struct {
+	inst *InstanceResult
+	reqs []*request
+	buf  *trace.Buffer // per-instance trace (nil unless TraceInstances)
+}
+
+// Service is the long-running serving layer. Construct with New; a Service
+// is safe for concurrent Submit from any number of goroutines.
+type Service struct {
+	cfg    Config
+	ctx    context.Context
+	queue  chan *request
+	stream *runner.Stream[*completed]
+	sink   trace.Sink // serialized; nil when tracing is disabled
+
+	draining    chan struct{} // closed by Close
+	drainOnce   sync.Once
+	batcherDone chan struct{}
+
+	mu           sync.Mutex
+	stats        Stats
+	nextInstance uint64
+}
+
+// New starts a Service. ctx governs the instances' execution and triggers a
+// graceful drain when cancelled: admission stops, already-admitted work is
+// still dispatched (instances then observe the cancelled context and fail
+// fast), and Close waits for every delivery.
+func New(ctx context.Context, cfg Config) (*Service, error) {
+	if cfg.Template.Protocol == nil {
+		return nil, errors.New("service: template has no protocol")
+	}
+	if err := cfg.Template.Protocol.Check(cfg.Template.N, cfg.Template.T); err != nil {
+		return nil, err
+	}
+	if cfg.Run == nil {
+		cfg.Run = RunSim
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 1
+	}
+	if cfg.BatchSize > 1 {
+		// Batching packs a batch into an arbitrary int64 digest; probe the
+		// protocol with a non-binary value so a binary-only protocol is
+		// rejected here, with a typed error, instead of failing every
+		// multi-value instance at run time.
+		probe := cfg.Template
+		probe.Value = 2
+		probe.Adversary = nil
+		probe.FaultyOverride = nil
+		probe.Trace = nil
+		if _, err := core.NewSetup(probe); err != nil {
+			if errors.Is(err, protocol.ErrBadParams) {
+				return nil, fmt.Errorf("%w: %v", ErrBatchingUnsupported, err)
+			}
+			return nil, err
+		}
+	}
+	s := &Service{
+		cfg:         cfg,
+		ctx:         ctx,
+		queue:       make(chan *request, cfg.QueueDepth),
+		draining:    make(chan struct{}),
+		batcherDone: make(chan struct{}),
+	}
+	if cfg.Trace != nil {
+		s.sink = &lockedSink{dst: cfg.Trace}
+	}
+	s.stream = runner.NewStream[*completed](runner.New(cfg.MaxInFlight), s.deliver)
+	go s.batcher()
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.Close()
+			case <-s.draining:
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Submit admits one value. It never blocks: when the admission queue is at
+// capacity the submission is rejected with ErrQueueFull, and once the
+// service drains with ErrDraining — backpressure is explicit so callers can
+// choose to retry, shed or block. On success the returned channel receives
+// exactly one Result when the value's instance is delivered.
+func (s *Service) Submit(v ident.Value) (<-chan Result, error) {
+	select {
+	case <-s.draining:
+		s.reject(true)
+		return nil, ErrDraining
+	default:
+	}
+	req := &request{value: v, enq: time.Now(), ch: make(chan Result, 1)}
+	select {
+	case s.queue <- req:
+	default:
+		s.reject(false)
+		return nil, ErrQueueFull
+	}
+	depth := len(s.queue)
+	s.mu.Lock()
+	s.stats.Submitted++
+	if depth > s.stats.QueueHighWater {
+		s.stats.QueueHighWater = depth
+	}
+	s.mu.Unlock()
+	if s.sink != nil {
+		s.sink.Emit(trace.Event{Kind: trace.KindEnqueue, From: ident.None, To: ident.None, Sigs: depth, Value: v})
+	}
+	return req.ch, nil
+}
+
+// SubmitWait submits v and blocks until its Result (or ctx is done, or the
+// submission is rejected).
+func (s *Service) SubmitWait(ctx context.Context, v ident.Value) (Result, error) {
+	ch, err := s.Submit(v)
+	if err != nil {
+		return Result{}, err
+	}
+	select {
+	case res := <-ch:
+		return res, res.Err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+func (s *Service) reject(draining bool) {
+	depth := len(s.queue)
+	s.mu.Lock()
+	if draining {
+		s.stats.RejectedDraining++
+	} else {
+		s.stats.RejectedFull++
+	}
+	s.mu.Unlock()
+	if s.sink != nil {
+		s.sink.Emit(trace.Event{Kind: trace.KindReject, From: ident.None, To: ident.None, Sigs: depth, Flag: draining})
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close drains the service: admission stops (Submit returns ErrDraining),
+// every already-admitted value is still batched and dispatched, and Close
+// returns once all instances have been delivered. Idempotent and safe to
+// call concurrently; also triggered by cancellation of New's context.
+func (s *Service) Close() {
+	s.drainOnce.Do(func() { close(s.draining) })
+	<-s.batcherDone
+	s.stream.Close()
+}
+
+// batcher is the single goroutine that forms batches and dispatches
+// instances; being alone on this path makes instance ids (and therefore
+// seeds) deterministic in admission order.
+func (s *Service) batcher() {
+	defer close(s.batcherDone)
+	for {
+		var first *request
+		select {
+		case first = <-s.queue:
+		case <-s.draining:
+			// Drain: flush whatever is still queued, then stop.
+			for {
+				select {
+				case req := <-s.queue:
+					s.dispatch(s.fill(req, false))
+				default:
+					return
+				}
+			}
+		}
+		s.dispatch(s.fill(first, true))
+	}
+}
+
+// fill grows a batch starting at first up to BatchSize, lingering for
+// stragglers when allowed and configured.
+func (s *Service) fill(first *request, mayLinger bool) []*request {
+	batch := []*request{first}
+	if s.cfg.BatchSize == 1 {
+		return batch
+	}
+	var lingerC <-chan time.Time
+	if mayLinger && s.cfg.Linger > 0 {
+		timer := time.NewTimer(s.cfg.Linger)
+		defer timer.Stop()
+		lingerC = timer.C
+	}
+	for len(batch) < s.cfg.BatchSize {
+		if lingerC == nil {
+			// No linger: take only what is already queued.
+			select {
+			case req := <-s.queue:
+				batch = append(batch, req)
+			default:
+				return batch
+			}
+			continue
+		}
+		select {
+		case req := <-s.queue:
+			batch = append(batch, req)
+		case <-lingerC:
+			return batch
+		case <-s.draining:
+			return batch
+		}
+	}
+	return batch
+}
+
+// dispatch assigns the next instance id, resolves the template and submits
+// the run to the executor; Submit blocks when MaxInFlight instances are
+// already executing, which is what lets the admission queue fill and
+// reject — bounded end to end.
+func (s *Service) dispatch(batch []*request) {
+	s.mu.Lock()
+	id := s.nextInstance
+	s.nextInstance++
+	s.mu.Unlock()
+
+	values := make([]ident.Value, len(batch))
+	for i, req := range batch {
+		values[i] = req.value
+	}
+	packed := PackValues(values)
+
+	cfg := s.cfg.Template
+	cfg.Value = packed
+	cfg.Seed = s.cfg.Template.Seed + int64(id)
+	cfg.Trace = nil
+
+	inst := Instance{ID: id, Config: cfg, Values: values}
+	if s.sink != nil {
+		s.sink.Emit(trace.Event{
+			Kind: trace.KindInstanceStart, From: ident.None, To: ident.None,
+			Signers: int(id), Sigs: len(values), Value: packed,
+		})
+	}
+
+	// Submission must not race with the service context: drain dispatches
+	// every admitted value even after cancellation (the run itself then
+	// fails fast on the cancelled context), so the executor slot wait uses
+	// the background context and the run uses the service one.
+	_, err := s.stream.Submit(context.Background(), func(context.Context) (*completed, error) {
+		return s.runInstance(inst, batch), nil
+	})
+	if err != nil {
+		// Only possible after stream.Close, which Close orders strictly
+		// after the batcher exits — keep the requests from hanging anyway.
+		s.fail(batch, inst, err)
+	}
+}
+
+// runInstance executes one instance on the substrate and packages the
+// outcome; it runs on an executor worker.
+func (s *Service) runInstance(inst Instance, reqs []*request) *completed {
+	cfg := inst.Config
+	var buf *trace.Buffer
+	if s.sink != nil && s.cfg.TraceInstances {
+		buf = trace.NewBuffer()
+		cfg.Trace = buf
+	}
+	res := &InstanceResult{Instance: inst}
+	out, err := s.cfg.Run(s.ctx, cfg)
+	if err != nil {
+		res.Err = err
+		return &completed{inst: res, reqs: reqs, buf: buf}
+	}
+	res.Decisions = out.Decisions
+	res.Report = out.Report
+	res.Faulty = out.Faulty
+	decided, err := core.CheckDecisions(out.Decisions, out.Faulty, cfg.Transmitter, cfg.Value)
+	if err != nil {
+		res.Err = err
+		return &completed{inst: res, reqs: reqs, buf: buf}
+	}
+	res.Decided = decided
+	res.Committed = decided == cfg.Value
+	return &completed{inst: res, reqs: reqs, buf: buf}
+}
+
+// deliver runs on the executor in strict instance-id order (runner.Stream's
+// contract): it folds the outcome into the stats, drains the instance's
+// private trace, emits instance-done and resolves the batch's futures.
+func (s *Service) deliver(_ uint64, c *completed, _ error) {
+	inst := c.inst
+	now := time.Now()
+
+	s.mu.Lock()
+	s.stats.Instances++
+	if inst.Err != nil {
+		s.stats.InstancesFailed++
+	} else {
+		s.stats.MessagesCorrect += uint64(inst.Report.MessagesCorrect)
+		s.stats.SignaturesCorrect += uint64(inst.Report.SignaturesCorrect)
+		s.stats.BytesCorrect += uint64(inst.Report.BytesCorrect)
+		if inst.Committed {
+			s.stats.ValuesDecided += uint64(len(inst.Values))
+		}
+	}
+	for _, req := range c.reqs {
+		lat := now.Sub(req.enq)
+		s.stats.TotalLatency += lat
+		if lat > s.stats.MaxLatency {
+			s.stats.MaxLatency = lat
+		}
+	}
+	s.mu.Unlock()
+
+	if s.sink != nil {
+		if c.buf != nil {
+			c.buf.DrainTo(s.sink)
+		}
+		s.sink.Emit(trace.Event{
+			Kind: trace.KindInstanceDone, From: ident.None, To: ident.None,
+			Signers: int(inst.ID), Sigs: len(inst.Values),
+			Bytes: inst.Report.MessagesCorrect, Value: inst.Decided, Flag: inst.Err == nil,
+		})
+	}
+
+	for _, req := range c.reqs {
+		res := Result{
+			Value:     req.value,
+			Decided:   inst.Decided,
+			Committed: inst.Committed,
+			Instance:  inst,
+			Latency:   now.Sub(req.enq),
+			Err:       inst.Err,
+		}
+		if res.Err == nil && !res.Committed {
+			res.Err = fmt.Errorf("%w: decided %v, batch packed %v", ErrNotCommitted, inst.Decided, inst.Config.Value)
+		}
+		req.ch <- res
+	}
+}
+
+// fail resolves a batch whose instance could not even be scheduled.
+func (s *Service) fail(batch []*request, inst Instance, err error) {
+	res := &InstanceResult{Instance: inst, Err: err}
+	now := time.Now()
+	s.mu.Lock()
+	s.stats.Instances++
+	s.stats.InstancesFailed++
+	s.mu.Unlock()
+	for _, req := range batch {
+		req.ch <- Result{Value: req.value, Instance: res, Latency: now.Sub(req.enq), Err: err}
+	}
+}
+
+// lockedSink serializes emissions from concurrent submitters and executor
+// workers onto one underlying sink.
+type lockedSink struct {
+	mu  sync.Mutex
+	dst trace.Sink
+}
+
+func (l *lockedSink) Emit(e trace.Event) {
+	l.mu.Lock()
+	l.dst.Emit(e)
+	l.mu.Unlock()
+}

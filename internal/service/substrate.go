@@ -1,0 +1,50 @@
+package service
+
+import (
+	"context"
+
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/metrics"
+	"byzex/internal/sim"
+	"byzex/internal/transport"
+)
+
+// Outcome is the substrate-independent result of one agreement instance:
+// the raw decision map, the information-exchange accounting and the faulty
+// set, exactly the quantities core.CheckDecisions and the amortized-cost
+// reporting need.
+type Outcome struct {
+	Decisions map[ident.ProcID]sim.Decision
+	Report    metrics.Report
+	Faulty    ident.Set
+}
+
+// RunFunc executes one fully-resolved instance configuration. The service
+// calls it from executor workers, so implementations must be safe for
+// concurrent use with distinct configs. RunSim and RunTCP adapt the two
+// existing substrates; tests inject failures through custom RunFuncs.
+type RunFunc func(ctx context.Context, cfg core.Config) (Outcome, error)
+
+// RunSim executes the instance on the in-memory synchronous engine — the
+// substrate behind `basim -transport memory` and the default for a Service.
+func RunSim(ctx context.Context, cfg core.Config) (Outcome, error) {
+	res, err := core.Run(ctx, cfg)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Decisions: res.Sim.Decisions, Report: res.Sim.Report, Faulty: res.Faulty}, nil
+}
+
+// RunTCP returns a RunFunc executing each instance over a localhost TCP
+// mesh (transport.RunCluster) with the given network knobs. Every instance
+// gets a fresh mesh; this is the high-fidelity, high-cost substrate.
+func RunTCP(netCfg transport.Net) RunFunc {
+	return func(ctx context.Context, cfg core.Config) (Outcome, error) {
+		res, err := transport.RunCluster(ctx, cfg, netCfg)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Decisions: res.Decisions, Report: res.Report, Faulty: res.Faulty}, nil
+	}
+}

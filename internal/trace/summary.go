@@ -44,6 +44,16 @@ type Summary struct {
 	// Decided / Undecided count the decision events.
 	Decided   int
 	Undecided int
+	// Serving-layer counters (see the service event kinds in trace.go).
+	// Enqueued / Rejected count admissions into and rejections from a
+	// service's bounded queue; InstancesStarted / InstancesDone count
+	// dispatched and completed agreement instances; ValuesDecided sums the
+	// batch sizes of completed instances (the amortization denominator).
+	Enqueued         int
+	Rejected         int
+	InstancesStarted int
+	InstancesDone    int
+	ValuesDecided    int
 }
 
 // Summarize folds a stream of events into a Summary.
@@ -88,6 +98,15 @@ func Summarize(events []Event) *Summary {
 			} else {
 				s.Undecided++
 			}
+		case KindEnqueue:
+			s.Enqueued++
+		case KindReject:
+			s.Rejected++
+		case KindInstanceStart:
+			s.InstancesStarted++
+		case KindInstanceDone:
+			s.InstancesDone++
+			s.ValuesDecided += e.Sigs
 		}
 	}
 	return s
@@ -130,6 +149,10 @@ func (s *Summary) Table() string {
 		tot.BytesCorrect, tot.Delivered, tot.Omitted, tot.Rushed)
 	fmt.Fprintf(&b, "corrupted=%d decided=%d undecided=%d sigcache=%d/%d\n",
 		s.Corrupted, s.Decided, s.Undecided, s.VerifyHits, s.VerifyHits+s.VerifyMisses)
+	if s.Enqueued+s.Rejected+s.InstancesStarted+s.InstancesDone > 0 {
+		fmt.Fprintf(&b, "service: enqueued=%d rejected=%d instances=%d/%d values=%d\n",
+			s.Enqueued, s.Rejected, s.InstancesDone, s.InstancesStarted, s.ValuesDecided)
+	}
 	return b.String()
 }
 

@@ -57,20 +57,44 @@ const (
 	KindRush
 	// KindDecide is a processor's final output: Value and Flag (decided).
 	KindDecide
+	// KindEnqueue / KindReject / KindInstanceStart / KindInstanceDone are
+	// serving-layer events (package service); none of them carries a phase
+	// (Phase is 0 — instances have internal phases of their own). Field
+	// reuse, in the package's established style:
+	//
+	//   enqueue:        Sigs = admission-queue depth after the enqueue,
+	//                   Value = the submitted value.
+	//   reject:         Sigs = queue depth at rejection, Flag = true when
+	//                   rejected because the service is draining (false:
+	//                   queue full).
+	//   instance-start: Signers = instance id, Sigs = batch size,
+	//                   Value = the packed batch value the instance agrees on.
+	//   instance-done:  Signers = instance id, Sigs = batch size,
+	//                   Bytes = messages sent by correct processors during
+	//                   the instance (the amortization numerator),
+	//                   Value = decided value, Flag = agreement reached.
+	KindEnqueue
+	KindReject
+	KindInstanceStart
+	KindInstanceDone
 )
 
 // kindNames maps kinds to their wire names (see jsonl.go).
 var kindNames = map[Kind]string{
-	KindCorrupt:    "corrupt",
-	KindPhaseStart: "phase-start",
-	KindPhaseEnd:   "phase-end",
-	KindSend:       "send",
-	KindOmit:       "omit",
-	KindDeliver:    "deliver",
-	KindVerifyHit:  "verify-hit",
-	KindVerifyMiss: "verify-miss",
-	KindRush:       "rush",
-	KindDecide:     "decide",
+	KindCorrupt:       "corrupt",
+	KindPhaseStart:    "phase-start",
+	KindPhaseEnd:      "phase-end",
+	KindSend:          "send",
+	KindOmit:          "omit",
+	KindDeliver:       "deliver",
+	KindVerifyHit:     "verify-hit",
+	KindVerifyMiss:    "verify-miss",
+	KindRush:          "rush",
+	KindDecide:        "decide",
+	KindEnqueue:       "enqueue",
+	KindReject:        "reject",
+	KindInstanceStart: "instance-start",
+	KindInstanceDone:  "instance-done",
 }
 
 // String implements fmt.Stringer.

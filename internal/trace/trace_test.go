@@ -35,6 +35,7 @@ func TestKindNames(t *testing.T) {
 		trace.KindCorrupt, trace.KindPhaseStart, trace.KindPhaseEnd,
 		trace.KindSend, trace.KindOmit, trace.KindDeliver,
 		trace.KindVerifyHit, trace.KindVerifyMiss, trace.KindRush, trace.KindDecide,
+		trace.KindEnqueue, trace.KindReject, trace.KindInstanceStart, trace.KindInstanceDone,
 	}
 	seen := make(map[string]bool)
 	for _, k := range kinds {

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"encoding/binary"
+	"errors"
 	"net"
 	"testing"
 
@@ -62,8 +64,25 @@ func TestFrameOversizeRejected(t *testing.T) {
 		// Forge a header claiming a frame beyond the limit.
 		_, _ = a.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	}()
-	if _, _, _, err := readFrame(b, 0); err == nil {
-		t.Fatal("oversize frame accepted")
+	_, _, _, err := readFrame(b, 0)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize frame: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameAtLimitNotOversize(t *testing.T) {
+	// A header announcing exactly maxFrame must not trip the typed error;
+	// it fails later (closed pipe), proving the bound is exclusive.
+	a, b := net.Pipe()
+	defer func() { _ = b.Close() }()
+	go func() {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], maxFrame)
+		_, _ = a.Write(hdr[:])
+		_ = a.Close()
+	}()
+	if _, _, _, err := readFrame(b, 0); errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("frame at the limit misclassified: %v", err)
 	}
 }
 

@@ -1,0 +1,97 @@
+package transport_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"byzex/internal/adversary"
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/protocols/alg1"
+	"byzex/internal/protocols/dolevstrong"
+	"byzex/internal/sig"
+	"byzex/internal/transport"
+)
+
+// assertSameOutcome compares the full decision maps, faulty sets and
+// information-exchange totals of two cluster runs.
+func assertSameOutcome(t *testing.T, legacy, unified *transport.Result) {
+	t.Helper()
+	if len(legacy.Decisions) != len(unified.Decisions) {
+		t.Fatalf("decision counts differ: legacy %d, unified %d", len(legacy.Decisions), len(unified.Decisions))
+	}
+	for id, ld := range legacy.Decisions {
+		if ud, ok := unified.Decisions[id]; !ok || ud != ld {
+			t.Fatalf("decision of %v differs: legacy %+v, unified %+v", id, ld, ud)
+		}
+	}
+	if legacy.Faulty.Len() != unified.Faulty.Len() ||
+		legacy.Faulty.Intersect(unified.Faulty).Len() != legacy.Faulty.Len() {
+		t.Fatalf("faulty sets differ: legacy %v, unified %v", legacy.Faulty.Sorted(), unified.Faulty.Sorted())
+	}
+	lr, ur := legacy.Report, unified.Report
+	if lr.MessagesCorrect != ur.MessagesCorrect || lr.SignaturesCorrect != ur.SignaturesCorrect ||
+		lr.BytesCorrect != ur.BytesCorrect {
+		t.Fatalf("reports differ: legacy %s, unified %s", lr.String(), ur.String())
+	}
+}
+
+// TestDeprecatedRunMatchesRunCluster pins the deprecated Config/Run shim to
+// RunCluster: same scheme, same faulty coalition, identical decisions and
+// totals. The shim must stay a pure adapter.
+func TestDeprecatedRunMatchesRunCluster(t *testing.T) {
+	const n, tt = 8, 2
+	scheme := sig.NewHMAC(n, 91)
+	faulty := ident.NewSet(6, 7)
+
+	legacy, err := transport.Run(context.Background(), transport.Config{
+		Protocol: dolevstrong.Protocol{}, N: n, T: tt, Value: ident.V1,
+		Scheme: scheme, Adversary: adversary.Silent{}, Faulty: faulty,
+		Seed: 91, PhaseTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("legacy: %v", err)
+	}
+	unified, err := transport.RunCluster(context.Background(), core.Config{
+		Protocol: dolevstrong.Protocol{}, N: n, T: tt, Value: ident.V1,
+		Scheme: scheme, Adversary: adversary.Silent{}, FaultyOverride: faulty,
+		Seed: 91,
+	}, transport.Net{PhaseTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("unified: %v", err)
+	}
+	assertSameOutcome(t, legacy, unified)
+	if _, err := legacy.Decision(0, ident.V1); err != nil {
+		t.Fatalf("legacy agreement: %v", err)
+	}
+}
+
+// TestDeprecatedRunDefaultScheme pins the shim's historical defaults: a nil
+// scheme resolves to HMAC keyed off seed^0x7cb (not core's default), and an
+// adversary without an explicit Faulty set corrupts nobody — the legacy API
+// never consulted Adversary.Corrupt.
+func TestDeprecatedRunDefaultScheme(t *testing.T) {
+	const n, tt = 7, 3
+	legacy, err := transport.Run(context.Background(), transport.Config{
+		Protocol: alg1.Protocol{}, N: n, T: tt, Value: ident.V1,
+		Adversary: adversary.Silent{}, // no Faulty: must stay uncorrupted
+		Seed:      33, PhaseTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("legacy: %v", err)
+	}
+	unified, err := transport.RunCluster(context.Background(), core.Config{
+		Protocol: alg1.Protocol{}, N: n, T: tt, Value: ident.V1,
+		Scheme:    sig.NewHMAC(n, 33^0x7cb),
+		Adversary: adversary.Silent{}, FaultyOverride: make(ident.Set),
+		Seed: 33,
+	}, transport.Net{PhaseTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("unified: %v", err)
+	}
+	if legacy.Faulty.Len() != 0 {
+		t.Fatalf("legacy shim consulted Corrupt: faulty=%v", legacy.Faulty.Sorted())
+	}
+	assertSameOutcome(t, legacy, unified)
+}

@@ -45,6 +45,11 @@ var (
 // maxFrame bounds a single frame on the wire (16 MiB).
 const maxFrame = 16 << 20
 
+// ErrFrameTooLarge is returned by the frame reader when a peer announces a
+// body larger than maxFrame. The oversized body is never allocated or read:
+// a hostile or corrupt length header costs the receiver 4 bytes, not 4 GiB.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+
 // Net carries the network-substrate knobs of a cluster run — everything a
 // TCP execution needs beyond the protocol description in core.Config.
 type Net struct {
@@ -486,7 +491,7 @@ func readFrame(conn net.Conn, to ident.ProcID) (int, ident.ProcID, []sim.Envelop
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return 0, 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes > %d", ErrFrameTooLarge, n, maxFrame)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(conn, body); err != nil {
