@@ -7,16 +7,24 @@
 #   make bench-service - serving-layer throughput benchmark; archives BENCH_003.json
 #   make baexp       - regenerate every evaluation table
 #   make trace-smoke - end-to-end trace pipeline check (basim -trace → batrace)
+#   make faults      - fault-injection scenario matrix under -race (part of check)
 #   make fuzz        - run every fuzz target on a short fixed budget
 
 GO ?= go
 
-.PHONY: check test bench bench-trace bench-service baexp trace-smoke fuzz
+.PHONY: check test bench bench-trace bench-service baexp trace-smoke faults fuzz
 
-check:
+check: faults
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# The fault-injection gate: every numbered algorithm against every fault
+# family (crash/drop/dup/reorder/delay/partition) over real TCP, in-budget
+# plans must agree and replay byte-identically, over-budget plans must fail
+# typed. Also run standalone for a quick transport-layer signal.
+faults:
+	$(GO) test -race -count=1 ./internal/transport/ -run 'TestScenarioMatrix|TestCrashAtPhaseK|TestOverBudgetFaultsFailTyped'
 
 test:
 	$(GO) test ./...

@@ -27,6 +27,7 @@ import (
 
 	"byzex/internal/cli"
 	"byzex/internal/core"
+	"byzex/internal/ident"
 	"byzex/internal/service"
 	"byzex/internal/trace"
 	"byzex/internal/transport"
@@ -45,6 +46,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		t         = fs.Int("t", 2, "fault bound")
 		s         = fs.Int("s", 0, "set/tree size parameter for alg3/alg5 (default t)")
 		advName   = fs.String("adversary", "none", "adversary: "+strings.Join(cli.AdversaryNames(), "|"))
+		faultSpec = fs.String("faults", "", `fault-injection spec applied to every instance, e.g. "crash=1@2" (see internal/faultnet)`)
 		schemeStr = fs.String("scheme", "hmac", "signature scheme: hmac|ed25519|plain")
 		trans     = fs.String("transport", "memory", "substrate per instance: memory|tcp")
 		seed      = fs.Int64("seed", 1, "base seed; instance i runs with seed+i")
@@ -76,6 +78,19 @@ func run(args []string, stdout, stderr *os.File) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
+	plan, err := cli.FaultPlan(*faultSpec, *seed)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	var faultyOverride ident.Set
+	if plan != nil {
+		if adv == nil {
+			faultyOverride = plan.Affected(*n)
+		}
+		if err := plan.CheckBudget(*n, *t); err != nil {
+			fmt.Fprintf(stderr, "warning: %v — expect instances to stall or crash, not decide\n", err)
+		}
+	}
 
 	runFn := service.RunSim
 	switch *trans {
@@ -102,6 +117,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		Template: core.Config{
 			Protocol: proto, N: *n, T: *t,
 			Scheme: scheme, Adversary: adv, Seed: *seed,
+			Faults: plan, FaultyOverride: faultyOverride,
 		},
 		Run:         runFn,
 		MaxInFlight: *inflight,

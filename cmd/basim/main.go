@@ -8,6 +8,7 @@
 //	basim -protocol alg3 -n 100 -t 3 -s 12 -adversary split-brain
 //	basim -protocol dolev-strong -n 16 -t 4 -transport tcp
 //	basim -protocol alg2 -t 3 -dump run.json          # JSON transcript
+//	basim -protocol alg1 -t 2 -transport tcp -faults "crash=1@2;drop=0->2@1-3"
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		s         = flag.Int("s", 0, "set/tree size parameter for alg3/alg5 (default t)")
 		value     = flag.Int64("value", 1, "transmitter's value")
 		advName   = flag.String("adversary", "none", "adversary: "+strings.Join(cli.AdversaryNames(), "|"))
+		faultSpec = flag.String("faults", "", `fault-injection spec, e.g. "crash=1@2;drop=0->2@1-3" (see internal/faultnet)`)
 		schemeStr = flag.String("scheme", "hmac", "signature scheme: hmac|ed25519|plain")
 		trans     = flag.String("transport", "memory", "transport: memory|tcp")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
@@ -64,6 +66,23 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	plan, err := cli.FaultPlan(*faultSpec, *seed)
+	if err != nil {
+		fail(err)
+	}
+	// The processors a fault plan touches are judged faulty so the agreement
+	// printout discounts them (they run correct code, they're merely unheard).
+	// An over-budget plan is allowed — watching a protocol stall is the point
+	// of some experiments — but flagged up front.
+	var faultyOverride ident.Set
+	if plan != nil {
+		if adv == nil {
+			faultyOverride = plan.Affected(*n)
+		}
+		if err := plan.CheckBudget(*n, *t); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: %v — expect a stall or crash error, not agreement\n", err)
+		}
+	}
 
 	prof, err := cli.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -90,7 +109,7 @@ func main() {
 		res, err := core.Run(ctx, core.Config{
 			Protocol: proto, N: *n, T: *t, Value: ident.Value(*value),
 			Scheme: scheme, Adversary: adv, Seed: *seed, Record: *dump != "",
-			Trace: sink,
+			Trace: sink, Faults: plan, FaultyOverride: faultyOverride,
 		})
 		if err != nil {
 			fail(err)
@@ -117,7 +136,7 @@ func main() {
 		res, err := transport.RunCluster(ctx, core.Config{
 			Protocol: proto, N: *n, T: *t, Value: ident.Value(*value),
 			Scheme: scheme, Adversary: adv, Seed: *seed,
-			Trace: sink,
+			Trace: sink, Faults: plan, FaultyOverride: faultyOverride,
 		}, transport.Net{})
 		if err != nil {
 			fail(err)

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"byzex/internal/adversary"
+	"byzex/internal/faultnet"
 	"byzex/internal/ident"
 	"byzex/internal/protocol"
 	"byzex/internal/protocols/alg1"
@@ -147,6 +148,26 @@ func AdversaryNames() []string {
 	names := []string{"none", "silent", "crash", "split-brain", "multi-faced", "garbage", "chaos", "bit-flipper"}
 	sort.Strings(names)
 	return names
+}
+
+// FaultPlan compiles a fault-injection spec string (the faultnet DSL, e.g.
+// "crash=1@2;drop=0->2@1-3;delay=3->*@2+1/0.5") into a plan seeded by seed.
+// The empty string means no fault injection and yields a nil plan, which every
+// faultnet method treats as inert — callers can pass the result straight into
+// core.Config.Faults without a nil check of their own.
+func FaultPlan(spec string, seed int64) (*faultnet.Plan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parsed, err := faultnet.ParseSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("cli: fault spec: %w", err)
+	}
+	plan, err := faultnet.Compile(parsed, seed)
+	if err != nil {
+		return nil, fmt.Errorf("cli: fault spec: %w", err)
+	}
+	return plan, nil
 }
 
 // Scheme resolves a signature scheme name.

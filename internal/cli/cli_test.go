@@ -154,6 +154,38 @@ func TestUnknownNamesRejected(t *testing.T) {
 	}
 }
 
+func TestFaultPlan(t *testing.T) {
+	plan, err := cli.FaultPlan("crash=1@2;drop=0->2@1-3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil || plan.Empty() {
+		t.Fatal("non-empty spec compiled to an inert plan")
+	}
+	if got := plan.CrashPhase(1); got != 2 {
+		t.Fatalf("crash phase %d, want 2", got)
+	}
+
+	// The empty spec is "no injection": a nil plan, usable as-is.
+	plan, err = cli.FaultPlan("", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != nil {
+		t.Fatalf("empty spec yielded %v, want nil", plan)
+	}
+	if !plan.Empty() || plan.CrashPhase(1) != 0 {
+		t.Fatal("nil plan is not inert")
+	}
+
+	if _, err := cli.FaultPlan("drop=1->1@2", 7); err == nil {
+		t.Fatal("self-link spec accepted")
+	}
+	if _, err := cli.FaultPlan("explode=all", 7); err == nil {
+		t.Fatal("unknown directive accepted")
+	}
+}
+
 func TestSchemeDefaults(t *testing.T) {
 	s, err := cli.Scheme("", cli.Params{N: 4, Seed: 9})
 	if err != nil || s.Name() != "hmac" {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"byzex/internal/adversary"
+	"byzex/internal/faultnet"
 	"byzex/internal/history"
 	"byzex/internal/ident"
 	"byzex/internal/protocol"
@@ -69,6 +70,13 @@ type Config struct {
 	// nil, Run falls back to the sink carried by the context (if any), so
 	// orchestration layers can inject per-worker sinks without plumbing.
 	Trace trace.Sink
+	// Faults is a compiled fault-injection plan (see package faultnet),
+	// honored by both substrates: the in-memory engine applies it on its
+	// delivery path, the TCP transport at the frame layer. Processors the
+	// plan affects should normally be covered by FaultyOverride (use
+	// Plan.Affected) so the agreement judge attributes the injected
+	// misbehavior to them; nil injects nothing.
+	Faults *faultnet.Plan
 }
 
 // Result is the outcome of a Run.
@@ -166,19 +174,23 @@ func NewSetup(cfg Config) (*Setup, error) {
 		scheme = sig.NewHMAC(cfg.N, cfg.Seed^0x5ee_d516)
 	}
 
-	// Determine the corrupted set.
+	// Determine the corrupted set. FaultyOverride wins even without an
+	// adversary: fault-injection runs (package faultnet) mark network-
+	// affected processors as faulty so the agreement judge discounts them,
+	// while the processors themselves keep running correct protocol code —
+	// a crash or partition victim is not Byzantine, merely unheard.
 	faulty := make(ident.Set)
 	var env *adversary.Env
-	if cfg.Adversary != nil {
-		if cfg.FaultyOverride != nil {
-			faulty = cfg.FaultyOverride.Clone()
-		} else {
-			st, err := adversary.NewState(make(ident.Set), scheme, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			faulty = cfg.Adversary.Corrupt(cfg.N, cfg.T, cfg.Transmitter, st.Rng)
+	if cfg.FaultyOverride != nil {
+		faulty = cfg.FaultyOverride.Clone()
+	} else if cfg.Adversary != nil {
+		st, err := adversary.NewState(make(ident.Set), scheme, cfg.Seed)
+		if err != nil {
+			return nil, err
 		}
+		faulty = cfg.Adversary.Corrupt(cfg.N, cfg.T, cfg.Transmitter, st.Rng)
+	}
+	if cfg.Adversary != nil {
 		st, err := adversary.NewState(faulty, scheme, cfg.Seed)
 		if err != nil {
 			return nil, err
@@ -263,6 +275,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Faulty:      setup.Faulty,
 		Rushing:     cfg.Rushing,
 		Trace:       sink,
+		Faults:      cfg.Faults,
 	}
 	var rec *history.Recorder
 	if cfg.Record {

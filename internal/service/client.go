@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"strconv"
@@ -242,6 +243,10 @@ func loadConn(ctx context.Context, cfg LoadConfig, c int, stats *LoadStats, mu *
 		return err
 	}
 	defer func() { _ = cl.Close() }()
+	// Per-connection rng decorrelates the retry waits: with a fixed sleep,
+	// every connection rejected by the same full queue retried in lock-step
+	// and slammed the queue again as one synchronized wave.
+	rng := rand.New(rand.NewSource(int64(c)*0x9e3779b9 + 1))
 	for i := 0; i < cfg.Requests; i++ {
 		v := cfg.ValueFor(c, i)
 		for {
@@ -254,7 +259,9 @@ func loadConn(ctx context.Context, cfg LoadConfig, c int, stats *LoadStats, mu *
 				mu.Lock()
 				stats.Rejected++
 				mu.Unlock()
-				time.Sleep(cfg.RetryWait)
+				if err := sleepJittered(ctx, cfg.RetryWait, rng); err != nil {
+					return err
+				}
 				continue
 			}
 			if err != nil {
@@ -270,4 +277,19 @@ func loadConn(ctx context.Context, cfg LoadConfig, c int, stats *LoadStats, mu *
 		}
 	}
 	return nil
+}
+
+// sleepJittered waits base/2 + U[0, base) — mean base, decorrelated across
+// connections — and returns early with ctx's error when the load run is
+// cancelled, so a long RetryWait cannot pin a shutdown.
+func sleepJittered(ctx context.Context, base time.Duration, rng *rand.Rand) error {
+	wait := base/2 + time.Duration(rng.Int63n(int64(base)))
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }

@@ -1,0 +1,76 @@
+package service_test
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"byzex/internal/service"
+)
+
+// alwaysFullServer speaks just enough of the line protocol to reject every
+// submission with backpressure, forcing clients into their retry loop.
+func alwaysFullServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer func() { _ = c.Close() }()
+				br := bufio.NewReader(c)
+				for {
+					if _, err := br.ReadString('\n'); err != nil {
+						return
+					}
+					if _, err := fmt.Fprintln(c, "ERR full"); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestLoadRetryHonorsCancel is the regression test for the load client's
+// queue-full retry: the wait used to be a bare time.Sleep, so cancelling the
+// run mid-backoff still blocked for the full RetryWait. With a 10s RetryWait
+// the old code turns this test into a 10s hang; the ctx-aware wait returns
+// within milliseconds of the cancel.
+func TestLoadRetryHonorsCancel(t *testing.T) {
+	addr := alwaysFullServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+
+	start := time.Now()
+	stats, err := service.RunLoad(ctx, service.LoadConfig{
+		Addr:      addr,
+		Conns:     3,
+		Requests:  1,
+		RetryWait: 10 * time.Second,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("load run ignored cancellation for %v", elapsed)
+	}
+	if stats.Rejected == 0 {
+		t.Fatal("no rejections recorded; the retry path was never exercised")
+	}
+	if stats.Submitted != 0 {
+		t.Fatalf("%d submissions against an always-full server", stats.Submitted)
+	}
+}

@@ -54,6 +54,15 @@ type Summary struct {
 	InstancesStarted int
 	InstancesDone    int
 	ValuesDecided    int
+	// Fault-injection counters (see the fault-* event kinds in trace.go):
+	// frames dropped, delayed, duplicated and reordered by the plan, and
+	// processors halted by crash-at-phase-k rules. The scenario tests
+	// assert these equal faultnet.Plan.ExpectedCounters for the run.
+	FaultDrops    int
+	FaultDelays   int
+	FaultDups     int
+	FaultReorders int
+	FaultCrashes  int
 }
 
 // Summarize folds a stream of events into a Summary.
@@ -107,6 +116,16 @@ func Summarize(events []Event) *Summary {
 		case KindInstanceDone:
 			s.InstancesDone++
 			s.ValuesDecided += e.Sigs
+		case KindFaultDrop:
+			s.FaultDrops++
+		case KindFaultDelay:
+			s.FaultDelays++
+		case KindFaultDup:
+			s.FaultDups++
+		case KindFaultReorder:
+			s.FaultReorders++
+		case KindFaultCrash:
+			s.FaultCrashes++
 		}
 	}
 	return s
@@ -152,6 +171,10 @@ func (s *Summary) Table() string {
 	if s.Enqueued+s.Rejected+s.InstancesStarted+s.InstancesDone > 0 {
 		fmt.Fprintf(&b, "service: enqueued=%d rejected=%d instances=%d/%d values=%d\n",
 			s.Enqueued, s.Rejected, s.InstancesDone, s.InstancesStarted, s.ValuesDecided)
+	}
+	if s.FaultDrops+s.FaultDelays+s.FaultDups+s.FaultReorders+s.FaultCrashes > 0 {
+		fmt.Fprintf(&b, "faults: drops=%d delays=%d dups=%d reorders=%d crashes=%d\n",
+			s.FaultDrops, s.FaultDelays, s.FaultDups, s.FaultReorders, s.FaultCrashes)
 	}
 	return b.String()
 }

@@ -77,6 +77,20 @@ const (
 	KindReject
 	KindInstanceStart
 	KindInstanceDone
+	// KindFaultDrop / KindFaultDelay / KindFaultDup / KindFaultReorder
+	// report a fault-plan action (package faultnet) applied to the frame
+	// From sent to To during sending phase Phase; fault-delay carries the
+	// hold duration in Sigs. The events are derived from the plan — a pure
+	// function of the seed — not from observed arrivals, so fault traces
+	// stay byte-identical across replays and can be checked against
+	// Plan.ExpectedCounters exactly.
+	KindFaultDrop
+	KindFaultDelay
+	KindFaultDup
+	KindFaultReorder
+	// KindFaultCrash reports processor From halting at the start of phase
+	// Phase under a crash-at-phase-k rule.
+	KindFaultCrash
 )
 
 // kindNames maps kinds to their wire names (see jsonl.go).
@@ -95,6 +109,11 @@ var kindNames = map[Kind]string{
 	KindReject:        "reject",
 	KindInstanceStart: "instance-start",
 	KindInstanceDone:  "instance-done",
+	KindFaultDrop:     "fault-drop",
+	KindFaultDelay:    "fault-delay",
+	KindFaultDup:      "fault-dup",
+	KindFaultReorder:  "fault-reorder",
+	KindFaultCrash:    "fault-crash",
 }
 
 // String implements fmt.Stringer.

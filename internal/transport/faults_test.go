@@ -1,0 +1,242 @@
+package transport_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"byzex/internal/cli"
+	"byzex/internal/core"
+	"byzex/internal/faultnet"
+	"byzex/internal/ident"
+	"byzex/internal/trace"
+	"byzex/internal/transport"
+)
+
+// runTCP executes cfg over localhost TCP with a fresh trace buffer.
+func runTCP(t *testing.T, cfg core.Config) (*transport.Result, *trace.Buffer) {
+	t.Helper()
+	buf := trace.NewBuffer()
+	cfg.Trace = buf
+	res, err := transport.RunCluster(context.Background(), cfg, transport.Net{PhaseTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, buf
+}
+
+func sameEvents(a, b []trace.Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkFaultCounters(t *testing.T, label string, events []trace.Event, want faultnet.Counters) {
+	t.Helper()
+	sum := trace.Summarize(events)
+	got := faultnet.Counters{
+		Drops: sum.FaultDrops, Delays: sum.FaultDelays, Dups: sum.FaultDups,
+		Reorders: sum.FaultReorders, Crashes: sum.FaultCrashes,
+	}
+	if got != want {
+		t.Errorf("%s: fault counters %+v, want %+v", label, got, want)
+	}
+}
+
+// TestScenarioMatrix is the tentpole acceptance test: every numbered
+// algorithm of the paper, under every fault family, with the plan kept
+// inside the fault budget (Affected ⊆ faulty, |faulty| ≤ t), must still
+// reach agreement and validity; two runs of the same seed must produce
+// identical decisions and byte-identical traces; and the fault-* counters
+// recovered from the trace must equal the plan's own accounting — on both
+// substrates, whose decisions must also agree with each other.
+func TestScenarioMatrix(t *testing.T) {
+	const seed = 42
+	algs := []struct {
+		name string
+		n, t int
+		// exchange marks algorithms that are mutual-exchange primitives
+		// rather than full agreement protocols (alg4 decides a constant);
+		// unanimity and determinism are still asserted, validity is not.
+		exchange bool
+	}{
+		{name: "alg1", n: 5, t: 2},
+		{name: "alg2", n: 5, t: 2},
+		{name: "alg3", n: 12, t: 2},
+		{name: "alg4", n: 16, t: 2, exchange: true},
+		{name: "alg5", n: 20, t: 2},
+	}
+	scenarios := []struct {
+		name, spec string
+	}{
+		{"crash", "crash=1@2;crash=2@3"},
+		{"drop-dup", "drop=1->3@2-3;dup=1->4@1;drop=2->*@2/0.6"},
+		{"partition", "partition=1,2|3,4@2"},
+		{"delay-reorder", "delay=1->*@1-2+1;reorder=2->*@*"},
+	}
+	for _, alg := range algs {
+		proto, err := cli.Protocol(alg.name, cli.Params{N: alg.n, T: alg.t, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phases := proto.Phases(alg.n, alg.t)
+		for _, sc := range scenarios {
+			t.Run(alg.name+"/"+sc.name, func(t *testing.T) {
+				plan := faultnet.MustParse(sc.spec, seed)
+				if err := plan.CheckBudget(alg.n, alg.t); err != nil {
+					t.Fatalf("scenario not in budget: %v", err)
+				}
+				cfg := core.Config{
+					Protocol: proto, N: alg.n, T: alg.t, Value: ident.V1,
+					FaultyOverride: plan.Affected(alg.n), Seed: seed, Faults: plan,
+				}
+				want := plan.ExpectedCounters(alg.n, phases)
+
+				res1, buf1 := runTCP(t, cfg)
+				checkAgreement(t, res1, ident.V1, alg.exchange)
+				checkFaultCounters(t, "tcp", buf1.Events(), want)
+
+				// Same seed, second run: byte-identical trace and decisions.
+				res2, buf2 := runTCP(t, cfg)
+				if !sameEvents(buf1.Events(), buf2.Events()) {
+					t.Error("same-seed reruns produced different traces")
+				}
+				for id, d := range res1.Decisions {
+					if res2.Decisions[id] != d {
+						t.Errorf("same-seed reruns diverge at %v: %+v vs %+v", id, d, res2.Decisions[id])
+					}
+				}
+
+				// The in-memory engine mirrors the frame-layer semantics:
+				// identical decisions, identical fault accounting.
+				memBuf := trace.NewBuffer()
+				memCfg := cfg
+				memCfg.Trace = memBuf
+				memRes, err := core.Run(context.Background(), memCfg)
+				if err != nil {
+					t.Fatalf("memory substrate: %v", err)
+				}
+				checkFaultCounters(t, "memory", memBuf.Events(), want)
+				for id, d := range res1.Decisions {
+					if got := memRes.Sim.Decisions[id]; got != d {
+						t.Errorf("substrates diverge at %v: tcp %+v, memory %+v", id, d, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCrashAtPhaseK runs every protocol in the registry over TCP with the
+// highest-numbered processor crash-halted at phase 2 and judged faulty. The
+// crash budget is within t everywhere, so every non-strawman protocol must
+// still reach agreement and validity; determinism across same-seed reruns is
+// required of all of them, strawmen included.
+func TestCrashAtPhaseK(t *testing.T) {
+	configs := map[string]struct {
+		n, t   int
+		scheme string
+		// exchange: mutual-exchange primitive (constant Decide) — assert
+		// unanimity and determinism but not validity.
+		exchange bool
+	}{
+		"alg1":               {n: 5, t: 2, scheme: "hmac"},
+		"alg1-multi":         {n: 5, t: 2, scheme: "hmac"},
+		"alg2":               {n: 5, t: 2, scheme: "hmac"},
+		"alg3":               {n: 12, t: 2, scheme: "hmac"},
+		"alg4":               {n: 16, t: 2, scheme: "hmac", exchange: true},
+		"alg4-relay":         {n: 9, t: 2, scheme: "hmac", exchange: true},
+		"alg5":               {n: 20, t: 2, scheme: "hmac"},
+		"alg5-nopow":         {n: 20, t: 2, scheme: "hmac"},
+		"ic":                 {n: 5, t: 1, scheme: "hmac"},
+		"dolev-strong":       {n: 6, t: 2, scheme: "hmac"},
+		"lsp":                {n: 7, t: 2, scheme: "plain"},
+		"phase-king":         {n: 9, t: 2, scheme: "plain"},
+		"strawman-broadcast": {n: 5, t: 1, scheme: "hmac"},
+		"strawman-thinrelay": {n: 8, t: 2, scheme: "hmac"},
+	}
+	for _, name := range cli.ProtocolNames() {
+		cfg, ok := configs[name]
+		if !ok {
+			t.Fatalf("no crash-test config for protocol %q", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			params := cli.Params{N: cfg.n, T: cfg.t, Seed: 9}
+			proto, err := cli.Protocol(name, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scheme, err := cli.Scheme(cfg.scheme, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			victim := ident.ProcID(cfg.n - 1)
+			plan := faultnet.MustCompile(faultnet.Spec{Rules: []faultnet.Rule{
+				{Kind: faultnet.KCrash, Proc: victim, AtPhase: 2},
+			}}, 9)
+			runCfg := core.Config{
+				Protocol: proto, N: cfg.n, T: cfg.t, Value: ident.V1, Scheme: scheme,
+				FaultyOverride: ident.NewSet(victim), Seed: 9, Faults: plan,
+			}
+			res1, _ := runTCP(t, runCfg)
+			res2, _ := runTCP(t, runCfg)
+			for id, d := range res1.Decisions {
+				if res2.Decisions[id] != d {
+					t.Errorf("same-seed reruns diverge at %v", id)
+				}
+			}
+			if !strings.HasPrefix(name, "strawman") {
+				checkAgreement(t, res1, ident.V1, cfg.exchange)
+			}
+		})
+	}
+}
+
+// TestOverBudgetFaultsFailTyped pins the safety side of the budget contract:
+// a plan the fault bound cannot absorb must surface as ErrStalled or
+// ErrPeerCrashed — a typed refusal, never a divergent decision.
+func TestOverBudgetFaultsFailTyped(t *testing.T) {
+	proto, err := cli.Protocol("alg1", cli.Params{N: 5, T: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := core.Config{Protocol: proto, N: 5, T: 2, Value: ident.V1, Seed: 1}
+
+	t.Run("blanket drop stalls", func(t *testing.T) {
+		cfg := base
+		cfg.Faults = faultnet.MustParse("drop=*->*@*", 1)
+		cfg.FaultyOverride = ident.NewSet(1, 2) // the most t allows; the plan veils 4
+		_, err := transport.RunCluster(context.Background(), cfg, transport.Net{PhaseTimeout: 2 * time.Second})
+		if !errors.Is(err, transport.ErrStalled) {
+			t.Fatalf("got %v, want ErrStalled", err)
+		}
+	})
+
+	t.Run("unbudgeted crash surfaces", func(t *testing.T) {
+		cfg := base
+		cfg.Faults = faultnet.MustParse("crash=1@2", 1)
+		cfg.FaultyOverride = make(ident.Set) // crash victim not judged faulty
+		_, err := transport.RunCluster(context.Background(), cfg, transport.Net{PhaseTimeout: 2 * time.Second})
+		if !errors.Is(err, transport.ErrPeerCrashed) {
+			t.Fatalf("got %v, want ErrPeerCrashed", err)
+		}
+	})
+
+	t.Run("crash trio beyond t", func(t *testing.T) {
+		cfg := base
+		cfg.Faults = faultnet.MustParse("crash=1@2;crash=2@2;crash=3@2", 1)
+		cfg.FaultyOverride = ident.NewSet(1, 2)
+		_, err := transport.RunCluster(context.Background(), cfg, transport.Net{PhaseTimeout: 2 * time.Second})
+		if !errors.Is(err, transport.ErrStalled) && !errors.Is(err, transport.ErrPeerCrashed) {
+			t.Fatalf("got %v, want ErrStalled or ErrPeerCrashed", err)
+		}
+	})
+}

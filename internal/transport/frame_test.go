@@ -18,7 +18,7 @@ func pipeRoundTrip(t *testing.T, phase int, from ident.ProcID, msgs []sim.Envelo
 	defer func() { _ = b.Close() }()
 
 	errCh := make(chan error, 1)
-	go func() { errCh <- writeFrame(a, phase, from, msgs) }()
+	go func() { errCh <- writeFrame(a, 0, phase, from, msgs) }()
 	gotPhase, gotFrom, gotMsgs, err := readFrame(b, 9)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"byzex/internal/faultnet"
+	"byzex/internal/ident"
+	"byzex/internal/sim"
+)
+
+// TestWriteFrameDeadline pins the write-deadline hardening: a receiver that
+// never reads must not block the sender's phase loop past the timeout. Before
+// writeFrame took a deadline, this write hung forever.
+func TestWriteFrameDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+
+	// b never reads: net.Pipe is unbuffered, so the very first write blocks
+	// until the deadline fires.
+	msgs := []sim.Envelope{{From: 1, To: 2, Phase: 1, Payload: []byte("stuck")}}
+	start := time.Now()
+	err := writeFrame(a, 100*time.Millisecond, 1, 1, msgs)
+	if err == nil {
+		t.Fatal("write to a dead receiver succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("got %v, want a net timeout error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("write blocked %v despite the deadline", elapsed)
+	}
+}
+
+// TestWriteFrameDeadlineReset checks that the deadline is cleared after a
+// successful write: a later slow-but-legitimate write on the same connection
+// must not inherit a stale deadline.
+func TestWriteFrameDeadlineReset(t *testing.T) {
+	a, b := net.Pipe()
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+
+	go func() {
+		for {
+			if _, _, _, err := readFrame(b, 2); err != nil {
+				return
+			}
+		}
+	}()
+	if err := writeFrame(a, 50*time.Millisecond, 1, 1, nil); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	// Sleep past the first deadline, then write with no timeout; a leaked
+	// deadline would fail this write immediately.
+	time.Sleep(80 * time.Millisecond)
+	if err := writeFrame(a, 0, 2, 1, nil); err != nil {
+		t.Fatalf("second write hit a stale deadline: %v", err)
+	}
+}
+
+// testPeer builds a bare peer for buffer-logic tests; the listener, node and
+// recorder are never touched by noteFrame/waitPhase.
+func testPeer(cfg peerConfig) *peer {
+	return newPeer(cfg, nil, nil, nil, nil)
+}
+
+// TestNoteFrameLateDrop is the regression test for the map-resurrection leak:
+// frames for a phase waitPhase has already closed out must be discarded, not
+// re-inserted into the per-phase maps (where nothing would ever delete them).
+func TestNoteFrameLateDrop(t *testing.T) {
+	p := testPeer(peerConfig{id: 0, n: 3, t: 2, timeout: 10 * time.Millisecond})
+	p.noteFrame(1, 1, nil)
+	p.noteFrame(1, 2, nil)
+	if _, err := p.waitPhase(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A straggler delivers phase 1 again after the phase was closed out.
+	p.noteFrame(1, 2, []sim.Envelope{{From: 2, To: 0, Phase: 1, Payload: []byte("late")}})
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.inbound) != 0 || len(p.arrived) != 0 {
+		t.Fatalf("late frame resurrected phase maps: inbound=%v arrived=%v", p.inbound, p.arrived)
+	}
+}
+
+// TestNoteFrameFaultTransforms drives the four frame-layer verdicts through
+// noteFrame directly: drop empties but still arrives, delay stashes for the
+// due phase, dup doubles, reorder reverses.
+func TestNoteFrameFaultTransforms(t *testing.T) {
+	plan := faultnet.MustParse("drop=1->0@1;delay=2->0@1+1;dup=1->0@2;reorder=2->0@2", 7)
+	p := testPeer(peerConfig{id: 0, n: 4, t: 3, timeout: 10 * time.Millisecond, faults: plan})
+
+	env := func(from ident.ProcID, phase int, tag string) sim.Envelope {
+		return sim.Envelope{From: from, To: 0, Phase: phase, Payload: []byte(tag)}
+	}
+
+	// Phase 1: 1->0 dropped, 2->0 delayed one phase, 3->0 untouched.
+	p.noteFrame(1, 1, []sim.Envelope{env(1, 1, "dropped")})
+	p.noteFrame(1, 2, []sim.Envelope{env(2, 1, "held")})
+	p.noteFrame(1, 3, []sim.Envelope{env(3, 1, "clean")})
+	inbox, err := p.waitPhase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inbox) != 1 || string(inbox[0].Payload) != "clean" {
+		t.Fatalf("phase 1 inbox: %+v", inbox)
+	}
+
+	// Phase 2: 1->0 duplicated, 2->0 reordered; the held phase-1 message is
+	// due now and must sort after sender 2's current traffic.
+	p.noteFrame(2, 1, []sim.Envelope{env(1, 2, "twice")})
+	p.noteFrame(2, 2, []sim.Envelope{env(2, 2, "b"), env(2, 2, "a")})
+	p.noteFrame(2, 3, nil)
+	inbox, err = p.waitPhase(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortInbox(inbox)
+	var got []string
+	for _, e := range inbox {
+		got = append(got, string(e.Payload))
+	}
+	want := []string{"twice", "twice", "a", "b", "held"}
+	if len(got) != len(want) {
+		t.Fatalf("phase 2 inbox %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("phase 2 inbox %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDialPeerCtxCancel pins the ctx-aware dial loop: cancelling the context
+// mid-backoff must abort the dial promptly instead of burning the full 5s
+// retry budget against a dead address.
+func TestDialPeerCtxCancel(t *testing.T) {
+	// A just-closed listener's address refuses connections, sending dialPeer
+	// into its backoff loop.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+	start := time.Now()
+	conn, err := dialPeer(ctx, addr, rand.New(rand.NewSource(1)))
+	if conn != nil {
+		_ = conn.Close()
+		t.Fatal("dial to a closed listener succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("dial ignored cancellation for %v", elapsed)
+	}
+}

@@ -13,6 +13,17 @@
 // core.CheckDecisions for judging agreement, so the two substrates cannot
 // drift. The network-specific knobs (phase timeout, muted processors) live
 // in Net.
+//
+// Fault injection: a compiled faultnet.Plan in core.Config.Faults is applied
+// at the frame layer — drop/delay/dup/reorder/partition verdicts transform
+// an inbound frame's content in noteFrame (the frame still counts as an
+// arrival, so lock-step progress never waits out a timeout for an injected
+// fault), and crash-at-phase-k halts the peer's run loop with ErrPeerCrashed
+// before it consumes phase k. The plan is a pure function of its seed, so
+// every peer evaluates the same schedule independently and fault runs replay
+// byte-identically. A receiver whose per-phase information gap (frames
+// physically missing plus frames the plan withheld) exceeds t returns
+// ErrStalled instead of risking a divergent decision.
 package transport
 
 import (
@@ -21,12 +32,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"byzex/internal/adversary"
 	"byzex/internal/core"
+	"byzex/internal/faultnet"
 	"byzex/internal/ident"
 	"byzex/internal/metrics"
 	"byzex/internal/protocol"
@@ -38,8 +51,16 @@ import (
 
 // Errors.
 var (
-	// ErrStalled indicates a processor gave up waiting for a phase.
+	// ErrStalled indicates a processor gave up on a phase: the frames it
+	// never received plus the frames the fault plan withheld exceed the
+	// fault bound t, so deciding would risk disagreement. Over-budget fault
+	// scenarios surface as this error (or ErrPeerCrashed), never as a
+	// divergent decision.
 	ErrStalled = errors.New("transport: phase stalled beyond timeout")
+	// ErrPeerCrashed reports a processor halted by a crash-at-phase-k rule
+	// of the run's fault plan (see faultnet.Rule). RunCluster tolerates it
+	// only for processors inside the faulty set.
+	ErrPeerCrashed = errors.New("transport: peer crashed by fault plan")
 )
 
 // maxFrame bounds a single frame on the wire (16 MiB).
@@ -188,6 +209,7 @@ func RunCluster(ctx context.Context, cfg core.Config, netCfg Net) (*Result, erro
 			id: id, n: cfg.N, t: cfg.T, transmitter: cfg.Transmitter,
 			phases: setup.Phases, timeout: netCfg.PhaseTimeout,
 			muted: netCfg.Mute.Has(id), faulty: setup.Faulty,
+			faults: cfg.Faults, seed: cfg.Seed,
 		}, node, ln, rec, onSend)
 	}
 	addrs := make([]string, cfg.N)
@@ -195,7 +217,11 @@ func RunCluster(ctx context.Context, cfg core.Config, netCfg Net) (*Result, erro
 		addrs[i] = p.ln.Addr().String()
 	}
 
-	// Run all peers.
+	// Run all peers. Sockets are torn down here, after every goroutine has
+	// joined — not by the peers themselves: a peer that exits early (a
+	// plan-crashed processor halts at phase 2, often before slower peers
+	// have finished dialing the mesh) must not close its listener while
+	// others still need to connect to it.
 	var wg sync.WaitGroup
 	errs := make([]error, cfg.N)
 	for i, p := range peers {
@@ -206,6 +232,14 @@ func RunCluster(ctx context.Context, cfg core.Config, netCfg Net) (*Result, erro
 		}(i, p)
 	}
 	wg.Wait()
+	for _, p := range peers {
+		_ = p.ln.Close()
+		for _, c := range p.conns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}
 	for i, err := range errs {
 		if err != nil && !setup.Faulty.Has(ident.ProcID(i)) {
 			return nil, fmt.Errorf("transport: processor %d: %w", i, err)
@@ -272,6 +306,8 @@ type peerConfig struct {
 	timeout     time.Duration
 	muted       bool
 	faulty      ident.Set
+	faults      *faultnet.Plan // nil injects nothing (all methods nil-safe)
+	seed        int64          // decorrelates the dial-backoff jitter per run
 }
 
 // peer is one processor's runtime: listener, outbound connections, inbound
@@ -286,6 +322,9 @@ type peer struct {
 	cond    *sync.Cond
 	inbound map[int]map[ident.ProcID][]sim.Envelope // phase -> sender -> msgs
 	arrived map[int]ident.Set                       // phase -> senders heard from
+	delayed map[int][]sim.Envelope                  // phase -> plan-delayed msgs due then
+	done    int                                     // highest phase waitPhase has closed out
+	conns   []net.Conn                              // outbound mesh, closed by RunCluster
 }
 
 func newPeer(cfg peerConfig, node sim.Node, ln net.Listener, rec *phaseRecorder,
@@ -294,14 +333,42 @@ func newPeer(cfg peerConfig, node sim.Node, ln net.Listener, rec *phaseRecorder,
 		cfg: cfg, node: node, ln: ln, rec: rec, onSend: onSend,
 		inbound: make(map[int]map[ident.ProcID][]sim.Envelope),
 		arrived: make(map[int]ident.Set),
+		delayed: make(map[int][]sim.Envelope),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
 
+// noteFrame records a frame that arrived from a peer, applying the fault
+// plan's verdict for the link first: drop empties the frame, delay stashes
+// its content for redelivery, dup doubles it, reorder reverses it. Every
+// verdict still marks the sender as arrived — the synchronizer observed the
+// frame; only its content was mangled — so injected faults never push a
+// receiver onto the timeout path. Frames for a phase waitPhase has already
+// closed out are discarded: appending to the deleted per-phase maps would
+// resurrect them and leak an entry per late frame for the rest of the run.
 func (p *peer) noteFrame(phase int, from ident.ProcID, msgs []sim.Envelope) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if phase <= p.done {
+		return
+	}
+	switch act := p.cfg.faults.FrameAction(phase, from, p.cfg.id); act.Kind {
+	case faultnet.ActDrop:
+		msgs = nil
+	case faultnet.ActDelay:
+		if len(msgs) > 0 {
+			due := phase + act.Delay
+			p.delayed[due] = append(p.delayed[due], msgs...)
+		}
+		msgs = nil
+	case faultnet.ActDup:
+		msgs = append(msgs, msgs...)
+	case faultnet.ActReorder:
+		for i, j := 0, len(msgs)-1; i < j; i, j = i+1, j-1 {
+			msgs[i], msgs[j] = msgs[j], msgs[i]
+		}
+	}
 	if p.inbound[phase] == nil {
 		p.inbound[phase] = make(map[ident.ProcID][]sim.Envelope)
 	}
@@ -313,9 +380,13 @@ func (p *peer) noteFrame(phase int, from ident.ProcID, msgs []sim.Envelope) {
 	p.cond.Broadcast()
 }
 
-// waitPhase blocks until frames for the phase arrived from all peers or the
-// timeout fires; it returns the inbox.
-func (p *peer) waitPhase(phase int) []sim.Envelope {
+// waitPhase blocks until frames for the phase arrived from all peers that
+// can still send (plan-crashed processors are not waited for) or the timeout
+// fires; it returns the inbox, including any plan-delayed content due this
+// phase. It fails with ErrStalled when the receiver's information gap —
+// frames physically missing plus live frames the plan withheld — exceeds
+// the fault bound t: deciding on that little information could diverge.
+func (p *peer) waitPhase(phase int) ([]sim.Envelope, error) {
 	deadline := time.Now().Add(p.cfg.timeout)
 	timer := time.AfterFunc(p.cfg.timeout, func() {
 		p.mu.Lock()
@@ -326,20 +397,38 @@ func (p *peer) waitPhase(phase int) []sim.Envelope {
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	want := p.cfg.n - 1
+	want := p.cfg.n - 1 - p.cfg.faults.CrashSilent(phase, p.cfg.id, p.cfg.n)
 	for p.arrived[phase].Len() < want && time.Now().Before(deadline) {
 		p.cond.Wait()
 	}
+	missing := p.cfg.n - 1 - p.arrived[phase].Len() // crashed peers count as missing
 	var inbox []sim.Envelope
 	for _, msgs := range p.inbound[phase] {
 		inbox = append(inbox, msgs...)
 	}
+	// Merge plan-delayed frames due now. They sort after the current-phase
+	// messages of the same sender: the map segment above holds one slice per
+	// sender, the late segment is appended behind it, and sortInbox is
+	// stable — the same order the engine's merge produces.
+	inbox = append(inbox, p.delayed[phase]...)
+	delete(p.delayed, phase)
 	delete(p.inbound, phase)
 	delete(p.arrived, phase)
-	return inbox
+	p.done = phase
+	if gap := missing + p.cfg.faults.Veiled(phase, p.cfg.id, p.cfg.n); gap > p.cfg.t {
+		return nil, fmt.Errorf("phase %d: %w: %d frames missing or withheld > t=%d",
+			phase, ErrStalled, gap, p.cfg.t)
+	}
+	return inbox, nil
 }
 
-func (p *peer) acceptLoop(done <-chan struct{}) {
+// acceptLoop serves inbound connections until the listener is closed by
+// RunCluster's teardown. Handlers outlive an early peer exit on purpose:
+// closing inbound links the moment a peer stalls or crashes would turn its
+// neighbors' in-flight writes into broken pipes and cascade one typed
+// failure into untyped ones. Frames arriving after the peer stopped
+// consuming are discarded by noteFrame's late-phase guard.
+func (p *peer) acceptLoop() {
 	for {
 		conn, err := p.ln.Accept()
 		if err != nil {
@@ -348,11 +437,6 @@ func (p *peer) acceptLoop(done <-chan struct{}) {
 		go func(c net.Conn) {
 			defer func() { _ = c.Close() }()
 			for {
-				select {
-				case <-done:
-					return
-				default:
-				}
 				phase, from, msgs, err := readFrame(c, p.cfg.id)
 				if err != nil {
 					return
@@ -364,36 +448,26 @@ func (p *peer) acceptLoop(done <-chan struct{}) {
 }
 
 func (p *peer) run(ctx context.Context, addrs []string) error {
-	done := make(chan struct{})
-	defer close(done)
-	defer func() { _ = p.ln.Close() }()
-	go p.acceptLoop(done)
+	go p.acceptLoop()
 
-	// Dial the mesh.
-	conns := make([]net.Conn, len(addrs))
+	// Dial the mesh. The jitter rng is seeded per (run, peer) so concurrent
+	// peers back off out of phase with each other instead of thundering.
+	// The listener and the outbound conns are NOT closed when this peer
+	// returns — RunCluster tears them down once every peer has joined, so
+	// an early exit (crash-at-phase-k, stall) cannot refuse a slower peer's
+	// mesh dial or sever links other peers are still using.
+	rng := rand.New(rand.NewSource(p.cfg.seed ^ (int64(p.cfg.id)+1)*0x9e3779b9))
+	p.conns = make([]net.Conn, len(addrs))
+	conns := p.conns
 	for i, addr := range addrs {
 		if ident.ProcID(i) == p.cfg.id {
 			continue
 		}
 		var err error
-		for attempt := 0; attempt < 50; attempt++ {
-			conns[i], err = net.Dial("tcp", addr)
-			if err == nil {
-				break
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
-		if err != nil {
+		if conns[i], err = dialPeer(ctx, addr, rng); err != nil {
 			return fmt.Errorf("dial %s: %w", addr, err)
 		}
 	}
-	defer func() {
-		for _, c := range conns {
-			if c != nil {
-				_ = c.Close()
-			}
-		}
-	}()
 
 	for phase := 1; phase <= p.cfg.phases+1; phase++ {
 		if err := ctx.Err(); err != nil {
@@ -402,9 +476,22 @@ func (p *peer) run(ctx context.Context, addrs []string) error {
 		if p.rec != nil {
 			p.rec.cur = phase
 		}
+		if p.cfg.faults.CrashPhase(p.cfg.id) == phase {
+			// Halt before consuming phase-1's frames: the crashed processor
+			// neither steps nor sends from here on. Its sockets stay open
+			// until RunCluster's teardown so live peers keep their links.
+			if p.rec != nil {
+				p.rec.Emit(trace.Event{Kind: trace.KindFaultCrash, Phase: phase, From: p.cfg.id, To: ident.None})
+			}
+			return fmt.Errorf("phase %d: %w", phase, ErrPeerCrashed)
+		}
 		var inbox []sim.Envelope
 		if phase > 1 {
-			inbox = p.waitPhase(phase - 1)
+			var err error
+			if inbox, err = p.waitPhase(phase - 1); err != nil {
+				return err
+			}
+			p.emitFaultEvents(phase - 1)
 		}
 		sortInbox(inbox)
 		if p.rec != nil {
@@ -445,13 +532,99 @@ func (p *peer) run(ctx context.Context, addrs []string) error {
 				if conn == nil {
 					continue
 				}
-				if err := writeFrame(conn, phase, p.cfg.id, outgoing[ident.ProcID(i)]); err != nil {
+				if p.cfg.faults.Crashed(ident.ProcID(i), phase+1) {
+					// The receiver halts before it would consume this frame;
+					// its sockets may already be closed.
+					continue
+				}
+				if err := writeFrame(conn, p.cfg.timeout, phase, p.cfg.id, outgoing[ident.ProcID(i)]); err != nil {
+					if p.cfg.faults.CrashPhase(ident.ProcID(i)) != 0 {
+						// Best-effort towards a peer that crashes later in
+						// the run: a torn-down socket is part of the scenario.
+						continue
+					}
 					return fmt.Errorf("phase %d send to %d: %w", phase, i, err)
 				}
 			}
 		}
 	}
 	return nil
+}
+
+// emitFaultEvents records the plan's verdicts for the frames of sendPhase
+// addressed to this peer — one fault-* event per acted-on frame, empty
+// frames included (the transport always has a frame on the wire). Events are
+// derived from the plan, not from observed arrivals, and emitted from the
+// peer's own goroutine into its single-owner recorder in ascending sender
+// order, so fault traces are deterministic. Phase carries the sending phase;
+// fault-delay carries the hold duration in Sigs.
+func (p *peer) emitFaultEvents(sendPhase int) {
+	if p.rec == nil || p.cfg.faults.Empty() {
+		return
+	}
+	for s := 0; s < p.cfg.n; s++ {
+		from := ident.ProcID(s)
+		if from == p.cfg.id || p.cfg.faults.Crashed(from, sendPhase) {
+			continue
+		}
+		act := p.cfg.faults.FrameAction(sendPhase, from, p.cfg.id)
+		if act.Kind == faultnet.ActNone {
+			continue
+		}
+		p.rec.Emit(trace.Event{
+			Kind: faultKind(act.Kind), Phase: sendPhase, From: from, To: p.cfg.id, Sigs: act.Delay,
+		})
+	}
+}
+
+// faultKind maps a plan action to its trace event kind.
+func faultKind(k faultnet.ActionKind) trace.Kind {
+	switch k {
+	case faultnet.ActDrop:
+		return trace.KindFaultDrop
+	case faultnet.ActDelay:
+		return trace.KindFaultDelay
+	case faultnet.ActDup:
+		return trace.KindFaultDup
+	case faultnet.ActReorder:
+		return trace.KindFaultReorder
+	}
+	return 0
+}
+
+// dialPeer dials addr with capped exponential backoff and jitter, giving up
+// promptly when ctx is cancelled. Mesh construction races every peer's
+// listener against every other peer's dialer, so early refusals are
+// expected; the jittered backoff replaces a fixed-interval retry loop that
+// hammered the listen backlog in lock-step across n² dials.
+func dialPeer(ctx context.Context, addr string, rng *rand.Rand) (net.Conn, error) {
+	var d net.Dialer
+	deadline := time.Now().Add(5 * time.Second)
+	backoff := 2 * time.Millisecond
+	for {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		// Sleep backoff/2 + U[0, backoff): mean backoff, decorrelated.
+		wait := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
+		timer := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
 }
 
 func sortInbox(in []sim.Envelope) {
@@ -464,7 +637,12 @@ func sortInbox(in []sim.Envelope) {
 
 // Frame wire format: u32 length, then body: uvarint phase, sender, count,
 // then per message: payload bytes, signer list, sigTotal.
-func writeFrame(conn net.Conn, phase int, from ident.ProcID, msgs []sim.Envelope) error {
+//
+// timeout bounds the whole frame write (both the header and the body): a
+// receiver that stopped reading while its kernel buffers are full would
+// otherwise block the sender's phase loop forever, turning one sick peer
+// into a cluster-wide hang. A timeout ≤ 0 leaves the connection unbounded.
+func writeFrame(conn net.Conn, timeout time.Duration, phase int, from ident.ProcID, msgs []sim.Envelope) error {
 	w := wire.NewWriter(64)
 	w.Uint(uint64(phase))
 	w.Proc(from)
@@ -475,6 +653,12 @@ func writeFrame(conn net.Conn, phase int, from ident.ProcID, msgs []sim.Envelope
 		w.Uint(uint64(m.SigTotal))
 	}
 	body := w.Bytes()
+	if timeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+		defer func() { _ = conn.SetWriteDeadline(time.Time{}) }()
+	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := conn.Write(hdr[:]); err != nil {
