@@ -1,23 +1,33 @@
 # byzex build / verification entry points.
 #
-#   make check       - tier-1 gate: build everything, vet, full test suite under -race
+#   make check       - tier-1 gate: lint, build everything, full test suite,
+#                      plus -race on the concurrency-heavy packages
+#   make lint        - gofmt -l (fails on unformatted files) + go vet ./...
 #   make bench       - tier-1 benchmarks; archives machine-readable results in BENCH_001.json
 #   make bench-trace - tracing-overhead benchmark; archives results in BENCH_002.json
 #   make test        - plain test run (no race detector)
-#   make bench-service - serving-layer throughput benchmark; archives BENCH_003.json
+#   make bench-service - serving-layer benchmarks; archives BENCH_003.json
+#                      (batch amortization) and BENCH_004.json (shard scaling)
 #   make baexp       - regenerate every evaluation table
 #   make trace-smoke - end-to-end trace pipeline check (basim -trace → batrace)
 #   make faults      - fault-injection scenario matrix under -race (part of check)
 #   make fuzz        - run every fuzz target on a short fixed budget
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: check test bench bench-trace bench-service baexp trace-smoke faults fuzz
+.PHONY: check lint test bench bench-trace bench-service baexp trace-smoke faults fuzz
 
-check: faults
+check: lint faults
 	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race -count=1 ./internal/service/ ./internal/runner/ ./internal/transport/
+
+# Formatting and static-analysis gate. gofmt -l prints offending files; the
+# shell turns any output into a failure so CI catches drift.
+lint:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) test -race ./...
 
 # The fault-injection gate: every numbered algorithm against every fault
 # family (crash/drop/dup/reorder/delay/partition) over real TCP, in-budget
@@ -54,11 +64,15 @@ baexp:
 	$(GO) run ./cmd/baexp
 
 # Amortized serving cost: messages/signatures per decided value at batch
-# sizes 1/4/16 under a saturated service, archived machine-readable.
+# sizes 1/4/16 under a saturated service (BENCH_003), then the sharding sweep
+# on the latency-modeled substrate — shard count × fixed/adaptive batching,
+# values/s and msgs/value (BENCH_004).
 bench-service:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -bench 'BenchmarkServiceThroughput' -benchtime=200x -benchmem -run '^$$' ./internal/service/ \
 	| /tmp/benchjson -label current > BENCH_003.json
+	$(GO) test -bench 'BenchmarkServiceSharded' -benchtime=300x -benchmem -run '^$$' -timeout 20m ./internal/service/ \
+	| /tmp/benchjson -label current > BENCH_004.json
 
 # Short fixed-budget fuzzing of every decoder that touches attacker-supplied
 # bytes: the wire codec (seeded from captured real-run envelopes) and the

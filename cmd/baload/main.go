@@ -1,10 +1,16 @@
-// Command baload drives a closed-loop load against a running baserve: each
+// Command baload drives a closed-loop load against a baserve: each
 // connection keeps exactly one request outstanding, retrying backpressure
 // rejections, and the run ends with throughput, latency percentiles, and
 // the amortized correct-sender message/signature cost per decided value.
 //
 //	baload -addr 127.0.0.1:9440 -c 100 -requests 3
 //	baload -addr 127.0.0.1:9440 -c 16 -verify -protocol alg1 -n 7 -t 3
+//	baload -selfhost -protocol alg1-multi -t 3 -shards 4 -adaptive -c 32
+//
+// With -selfhost, baload starts the service in-process on a loopback port
+// (configured by the same template and serving flags baserve takes, notably
+// -shards and -adaptive), drives the load against it, then drains it — a
+// one-command end-to-end exercise of the sharded serving path.
 //
 // With -verify, every distinct instance observed in the replies is
 // re-executed serially with core.Run on the (seed, packed value) the server
@@ -17,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 	"strings"
@@ -41,14 +48,24 @@ func run(args []string, stdout, stderr *os.File) int {
 		mod      = fs.Int("mod", 2, "values cycle over [0,mod); keep 2 for binary protocols")
 		verify   = fs.Bool("verify", false, "re-run every observed instance serially and compare")
 
-		// Template flags, only consulted with -verify; they must match the
-		// serving baserve (the seed comes from each reply).
+		// Self-host mode: run the service in-process instead of dialing out.
+		selfhost = fs.Bool("selfhost", false, "start an in-process server on 127.0.0.1:0 from the template flags and load it")
+		shards   = fs.Int("shards", 0, "selfhost: shard workers (default GOMAXPROCS)")
+		batch    = fs.Int("batch", 1, "selfhost: fixed batch size")
+		adaptive = fs.Bool("adaptive", false, "selfhost: adaptive batching in [1, max(-batch,16)]")
+		queue    = fs.Int("queue", 64, "selfhost: admission queue depth")
+
+		// Template flags, consulted with -verify (must match the serving
+		// baserve; the per-instance seed comes from each reply) and with
+		// -selfhost (they configure the in-process server).
 		protoName = fs.String("protocol", "alg1", "server's protocol: "+strings.Join(cli.ProtocolNames(), "|"))
 		n         = fs.Int("n", 0, "server's processor count (default 2t+1)")
 		t         = fs.Int("t", 2, "server's fault bound")
 		s         = fs.Int("s", 0, "server's set/tree size parameter")
 		advName   = fs.String("adversary", "none", "server's adversary")
 		schemeStr = fs.String("scheme", "hmac", "server's signature scheme")
+		faultSpec = fs.String("faults", "", "server's fault-injection spec (see internal/faultnet)")
+		seed      = fs.Int64("seed", 1, "server's base seed (selfhost)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,7 +74,59 @@ func run(args []string, stdout, stderr *os.File) int {
 		*mod = 1
 	}
 
-	load, err := service.RunLoad(context.Background(), service.LoadConfig{
+	tmpl, warn, err := cli.Template{
+		Protocol: *protoName, Adversary: *advName, Scheme: *schemeStr,
+		Faults: *faultSpec, N: *n, T: *t, S: *s, Seed: *seed,
+	}.Resolve()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if warn != "" {
+		fmt.Fprintf(stderr, "warning: %s\n", warn)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var hosted *service.Service
+	if *selfhost {
+		svcCfg := service.Config{
+			Template:   tmpl,
+			Shards:     *shards,
+			QueueDepth: *queue,
+			BatchSize:  *batch,
+		}
+		if *adaptive {
+			bmax := *batch
+			if bmax < 2 {
+				bmax = 16
+			}
+			svcCfg.BatchMin, svcCfg.BatchMax = 1, bmax
+		}
+		hosted, err = service.New(ctx, svcCfg)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		served := make(chan error, 1)
+		go func() { served <- service.Serve(ctx, ln, hosted) }()
+		defer func() {
+			cancel()
+			<-served
+			hosted.Close()
+		}()
+		*addr = ln.Addr().String()
+		fmt.Fprintf(stdout, "selfhost: %s n=%d t=%d shards=%d listening on %s\n",
+			*protoName, tmpl.N, tmpl.T, hosted.Stats().Shards, *addr)
+	}
+
+	load, err := service.RunLoad(ctx, service.LoadConfig{
 		Addr:     *addr,
 		Conns:    *conns,
 		Requests: *requests,
@@ -75,30 +144,14 @@ func run(args []string, stdout, stderr *os.File) int {
 		load.Percentile(50), load.Percentile(90), load.Percentile(99))
 	fmt.Fprintf(stdout, "amortized: %.2f msgs/value %.2f sigs/value (%d values, %d msgs, %d sigs)\n",
 		load.AmortizedMsgsPerValue(), amortizedSigs(load), load.ValuesServed, load.MsgsTotal, load.SigsTotal)
+	if hosted != nil {
+		st := hosted.Stats()
+		fmt.Fprintf(stdout, "server: %s\n", st.String())
+	}
 
 	if !*verify {
 		return 0
 	}
-	if *n == 0 {
-		*n = 2**t + 1
-	}
-	params := cli.Params{N: *n, T: *t, S: *s}
-	proto, err := cli.Protocol(*protoName, params)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
-	}
-	adv, err := cli.Adversary(*advName, params)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
-	}
-	scheme, err := cli.Scheme(*schemeStr, params)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
-	}
-	tmpl := core.Config{Protocol: proto, N: *n, T: *t, Scheme: scheme, Adversary: adv}
 	if bad := verifyInstances(stdout, stderr, tmpl, load.Instances); bad > 0 {
 		fmt.Fprintf(stderr, "verify: %d/%d instances diverged from serial re-execution\n", bad, len(load.Instances))
 		return 1

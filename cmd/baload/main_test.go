@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs baload's run() with stdout/stderr redirected to temp files
+// (run takes *os.File, matching main's os.Stdout/os.Stderr) and returns the
+// exit code plus both outputs.
+func capture(t *testing.T, args []string) (code int, stdout, stderr string) {
+	t.Helper()
+	dir := t.TempDir()
+	outF, err := os.Create(filepath.Join(dir, "stdout"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.Create(filepath.Join(dir, "stderr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = run(args, outF, errF)
+	_ = outF.Close()
+	_ = errF.Close()
+	outB, _ := os.ReadFile(outF.Name())
+	errB, _ := os.ReadFile(errF.Name())
+	return code, string(outB), string(errB)
+}
+
+// TestSelfhostShardedVerify is the end-to-end exercise of the sharded
+// serving path in one process: baload starts its own server with 4 shards
+// and adaptive batching, drives a closed loop against it over real loopback
+// TCP, then re-executes every observed instance serially and compares —
+// the seed = base + id replay contract surviving shards and batching.
+func TestSelfhostShardedVerify(t *testing.T) {
+	code, stdout, stderr := capture(t, []string{
+		"-selfhost", "-protocol", "alg1-multi", "-t", "3",
+		"-shards", "4", "-adaptive", "-batch", "8",
+		"-c", "8", "-requests", "4", "-mod", "64",
+		"-verify", "-seed", "5",
+	})
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "selfhost:") {
+		t.Fatalf("no selfhost banner:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "instances match serial core.Run exactly") {
+		t.Fatalf("verification did not run:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "shards=4") {
+		t.Fatalf("shard count not surfaced:\n%s", stdout)
+	}
+}
+
+// TestSelfhostFaultPlan drives the self-hosted server with an in-budget
+// fault plan: instances must still decide and verify serially (the plan is
+// part of the template on both sides).
+func TestSelfhostFaultPlan(t *testing.T) {
+	code, stdout, stderr := capture(t, []string{
+		"-selfhost", "-protocol", "alg1", "-t", "3",
+		"-faults", "crash=6@3", "-shards", "2",
+		"-c", "4", "-requests", "2",
+		"-seed", "11",
+	})
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "amortized:") {
+		t.Fatalf("no load summary:\n%s", stdout)
+	}
+}
+
+// TestBadFlags pins the typed failure paths.
+func TestBadFlags(t *testing.T) {
+	if code, _, _ := capture(t, []string{"-protocol", "no-such", "-selfhost"}); code == 0 {
+		t.Fatal("unknown protocol accepted")
+	}
+	if code, _, _ := capture(t, []string{"-faults", "bogus", "-selfhost"}); code == 0 {
+		t.Fatal("bad fault spec accepted")
+	}
+}

@@ -6,8 +6,13 @@
 // Flags mirror basim for the protocol template; the serving knobs are new:
 //
 //	baserve -protocol alg1 -n 7 -t 3 -addr :9000
-//	baserve -protocol alg1-multi -t 3 -batch 16 -linger 2ms -inflight 8
+//	baserve -protocol alg1-multi -t 3 -batch 16 -linger 2ms -shards 8
+//	baserve -protocol alg1-multi -t 3 -adaptive -batch-max 32
 //	baserve -protocol dolev-strong -n 16 -t 4 -transport tcp
+//
+// -shards sets the number of concurrent instance executors; -adaptive
+// replaces the fixed -batch size with a controller that grows the batch
+// under backlog and shrinks it when idle (window [-batch-min, -batch-max]).
 //
 // SIGINT/SIGTERM drains: admitted values still decide, new submissions are
 // rejected with "ERR draining", and the process exits once the queue is
@@ -26,8 +31,6 @@ import (
 	"time"
 
 	"byzex/internal/cli"
-	"byzex/internal/core"
-	"byzex/internal/ident"
 	"byzex/internal/service"
 	"byzex/internal/trace"
 	"byzex/internal/transport"
@@ -51,10 +54,14 @@ func run(args []string, stdout, stderr *os.File) int {
 		trans     = fs.String("transport", "memory", "substrate per instance: memory|tcp")
 		seed      = fs.Int64("seed", 1, "base seed; instance i runs with seed+i")
 		addr      = fs.String("addr", "127.0.0.1:9440", "listen address")
-		batch     = fs.Int("batch", 1, "max values coalesced into one instance")
+		batch     = fs.Int("batch", 1, "max values coalesced into one instance (fixed batching)")
+		adaptive  = fs.Bool("adaptive", false, "adaptive batching inside [-batch-min, -batch-max] instead of fixed -batch")
+		batchMin  = fs.Int("batch-min", 1, "adaptive window lower bound")
+		batchMax  = fs.Int("batch-max", 0, "adaptive window upper bound (default -batch, or 16)")
 		linger    = fs.Duration("linger", 0, "how long to wait for a batch to fill")
 		queue     = fs.Int("queue", 64, "admission queue depth")
-		inflight  = fs.Int("inflight", 0, "max concurrently executing instances (default GOMAXPROCS)")
+		shards    = fs.Int("shards", 0, "shard workers executing instances concurrently (default GOMAXPROCS)")
+		inflight  = fs.Int("inflight", 0, "deprecated alias for -shards")
 		tracePath = fs.String("trace", "", "write the service execution trace (JSONL) to this file on drain")
 		verbose   = fs.Bool("v", false, "print the trace summary table on drain")
 	)
@@ -62,34 +69,15 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	if *n == 0 {
-		*n = 2**t + 1
-	}
-	params := cli.Params{N: *n, T: *t, S: *s, Seed: *seed}
-	proto, err := cli.Protocol(*protoName, params)
+	tmpl, warn, err := cli.Template{
+		Protocol: *protoName, Adversary: *advName, Scheme: *schemeStr,
+		Faults: *faultSpec, N: *n, T: *t, S: *s, Seed: *seed,
+	}.Resolve()
 	if err != nil {
 		return fail(stderr, err)
 	}
-	adv, err := cli.Adversary(*advName, params)
-	if err != nil {
-		return fail(stderr, err)
-	}
-	scheme, err := cli.Scheme(*schemeStr, params)
-	if err != nil {
-		return fail(stderr, err)
-	}
-	plan, err := cli.FaultPlan(*faultSpec, *seed)
-	if err != nil {
-		return fail(stderr, err)
-	}
-	var faultyOverride ident.Set
-	if plan != nil {
-		if adv == nil {
-			faultyOverride = plan.Affected(*n)
-		}
-		if err := plan.CheckBudget(*n, *t); err != nil {
-			fmt.Fprintf(stderr, "warning: %v — expect instances to stall or crash, not decide\n", err)
-		}
+	if warn != "" {
+		fmt.Fprintf(stderr, "warning: %s\n", warn)
 	}
 
 	runFn := service.RunSim
@@ -113,19 +101,27 @@ func run(args []string, stdout, stderr *os.File) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	svc, err := service.New(ctx, service.Config{
-		Template: core.Config{
-			Protocol: proto, N: *n, T: *t,
-			Scheme: scheme, Adversary: adv, Seed: *seed,
-			Faults: plan, FaultyOverride: faultyOverride,
-		},
+	svcCfg := service.Config{
+		Template:    tmpl,
 		Run:         runFn,
+		Shards:      *shards,
 		MaxInFlight: *inflight,
 		QueueDepth:  *queue,
 		BatchSize:   *batch,
 		Linger:      *linger,
 		Trace:       sink,
-	})
+	}
+	if *adaptive {
+		bmax := *batchMax
+		if bmax < 1 {
+			bmax = *batch
+		}
+		if bmax < 2 {
+			bmax = 16
+		}
+		svcCfg.BatchMin, svcCfg.BatchMax = *batchMin, bmax
+	}
+	svc, err := service.New(ctx, svcCfg)
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -134,8 +130,12 @@ func run(args []string, stdout, stderr *os.File) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
-	fmt.Fprintf(stdout, "baserve: %s n=%d t=%d batch=%d listening on %s\n",
-		*protoName, *n, *t, *batch, ln.Addr())
+	batchDesc := fmt.Sprintf("batch=%d", *batch)
+	if *adaptive {
+		batchDesc = fmt.Sprintf("batch=adaptive[%d..%d]", svcCfg.BatchMin, svcCfg.BatchMax)
+	}
+	fmt.Fprintf(stdout, "baserve: %s n=%d t=%d %s shards=%d listening on %s\n",
+		*protoName, tmpl.N, tmpl.T, batchDesc, svc.Stats().Shards, ln.Addr())
 
 	start := time.Now()
 	if err := service.Serve(ctx, ln, svc); err != nil {

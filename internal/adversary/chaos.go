@@ -1,3 +1,9 @@
+// Chaos: a seeded randomized Byzantine strategy. Where the named adversaries
+// (split-brain, silent, rushing) each target one proof's worst case, chaos
+// samples the strategy space — random corruption choices, random equivocation
+// and omission — to sweep for agreement violations the structured attacks
+// miss. Deterministic per seed, so any violation it finds replays exactly.
+
 package adversary
 
 import (

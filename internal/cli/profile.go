@@ -1,3 +1,8 @@
+// Shared pprof plumbing for the CLI tools: every command that can run hot
+// (basim, baserve, baexp) exposes the same -cpuprofile/-memprofile pair and
+// delegates the lifecycle — start CPU profiling before the run, write the
+// heap snapshot after — to one Profiler instead of reimplementing it.
+
 package cli
 
 import (

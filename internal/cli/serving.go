@@ -1,0 +1,73 @@
+// Template resolution shared by the serving commands: baserve and baload
+// both describe an instance template with the same set of string flags
+// (protocol, adversary, scheme, fault spec) and numeric parameters; Resolve
+// turns one such description into a ready core.Config exactly once, so the
+// server and the load generator's -verify mode cannot drift apart in how
+// they interpret the flags.
+
+package cli
+
+import (
+	"byzex/internal/core"
+	"byzex/internal/ident"
+)
+
+// Template is the flag-level description of a per-instance run
+// configuration, as accepted by baserve and baload.
+type Template struct {
+	// Protocol, Adversary, Scheme name the registry entries (see Protocol,
+	// Adversary, Scheme); Faults is a faultnet spec string (empty = none).
+	Protocol  string
+	Adversary string
+	Scheme    string
+	Faults    string
+	// N is the processor count (0 = default 2T+1); T the fault bound; S the
+	// set/tree size parameter of alg3/alg5 (0 = default T).
+	N, T, S int
+	// Seed is the base seed: instance i runs with Seed + i.
+	Seed int64
+}
+
+// Resolve builds the core.Config template. When a fault plan is present and
+// no adversary is configured, the plan's affected processors become the
+// faulty set (FaultyOverride), matching how the scenario tests budget
+// faults; a plan that exceeds the t budget still resolves, but warn carries
+// a non-empty explanation the caller should surface (instances may stall
+// rather than decide).
+func (tp Template) Resolve() (cfg core.Config, warn string, err error) {
+	n := tp.N
+	if n == 0 {
+		n = 2*tp.T + 1
+	}
+	params := Params{N: n, T: tp.T, S: tp.S, Seed: tp.Seed}
+	proto, err := Protocol(tp.Protocol, params)
+	if err != nil {
+		return core.Config{}, "", err
+	}
+	adv, err := Adversary(tp.Adversary, params)
+	if err != nil {
+		return core.Config{}, "", err
+	}
+	scheme, err := Scheme(tp.Scheme, params)
+	if err != nil {
+		return core.Config{}, "", err
+	}
+	plan, err := FaultPlan(tp.Faults, tp.Seed)
+	if err != nil {
+		return core.Config{}, "", err
+	}
+	var faultyOverride ident.Set
+	if plan != nil {
+		if adv == nil {
+			faultyOverride = plan.Affected(n)
+		}
+		if budgetErr := plan.CheckBudget(n, tp.T); budgetErr != nil {
+			warn = budgetErr.Error() + " — expect instances to stall or crash, not decide"
+		}
+	}
+	return core.Config{
+		Protocol: proto, N: n, T: tp.T,
+		Scheme: scheme, Adversary: adv, Seed: tp.Seed,
+		Faults: plan, FaultyOverride: faultyOverride,
+	}, warn, nil
+}

@@ -1,9 +1,12 @@
+// The paper's bounds as executable closed forms: the signature lower bound
+// of Theorem 1, the message lower bounds of Theorems 2–4 and the upper
+// bounds achieved by the constructive algorithms. The evaluation harness and
+// the conformance tests compare measured per-instance counts against these
+// functions, so every bound claim in ROADMAP.md is checked, not quoted.
+
 package core
 
 import "math"
-
-// Bounds from the paper, as executable closed forms. Benchmarks and tests
-// compare measured counts against these.
 
 // SigLowerBound is Theorem 1: any authenticated agreement algorithm
 // handling t < n-1 faults has a fault-free history in which correct

@@ -1,0 +1,29 @@
+package faultnet_test
+
+import (
+	"fmt"
+
+	"byzex/internal/faultnet"
+)
+
+// ExampleParseSpec parses the -faults scenario language, compiles it against
+// a seed and checks the plan against the fault budget — exactly what the
+// CLI tools do with a -faults flag.
+func ExampleParseSpec() {
+	spec, err := faultnet.ParseSpec("crash=1@3;drop=2->4@2-5/0.5")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("rules:", len(spec.Rules))
+
+	// Compiling binds the probabilistic rules to a seed; the plan is then a
+	// pure function, so replays inject byte-identical faults.
+	plan := faultnet.MustCompile(spec, 7)
+	fmt.Println("affected:", plan.Affected(7).Sorted())
+	fmt.Println("in budget for n=7 t=3:", plan.CheckBudget(7, 3) == nil)
+	// Output:
+	// rules: 2
+	// affected: [p1 p2]
+	// in budget for n=7 t=3: true
+}

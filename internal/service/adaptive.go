@@ -1,0 +1,167 @@
+// The adaptive batching controller: batching trades latency for amortized
+// information exchange (one instance's Ω(nt) signatures and Ω(n+t²) messages
+// serve k values instead of one), so the right batch size depends on load.
+// The controller lives on the sequencer goroutine and moves a target batch
+// size inside a configured window — doubling under backlog, halving when the
+// admission queue runs idle — so a bursty workload pays near-zero added
+// latency when traffic is light (singletons, no linger) and approaches the
+// max-pack amortization floor when a backlog builds.
+
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// defaultAdaptiveLinger caps how long an adaptive batch waits for stragglers
+// when the caller did not configure a Linger bound.
+const defaultAdaptiveLinger = 2 * time.Millisecond
+
+// decision is one controller verdict for a forming batch.
+type decision struct {
+	// size is the batch-size target to fill toward; linger bounds how long
+	// the sequencer may wait for it.
+	size   int
+	linger time.Duration
+	// moved reports the target changed this decision; prev/grew describe
+	// the move for the stats and the batch-adapt trace event.
+	moved bool
+	grew  bool
+	prev  int
+}
+
+// batchController owns the target batch size. plan is called only from the
+// sequencer goroutine, but observe is fed from the delivery path, so the
+// mutable state is guarded by a mutex.
+//
+// The policy is deliberately simple and deterministic given the observed
+// queue depths: grow (double, clamped to max) when the queue holds at least
+// a full target beyond the value in hand — the backlog signal; shrink
+// (halve, clamped to min) when the queue is empty at formation time — the
+// idle signal. Singleton targets skip the linger entirely (the k=1 fast
+// path), and larger targets bound their linger by half the EWMA instance
+// latency: waiting longer than that for stragglers would cost more latency
+// than the batch saves.
+type batchController struct {
+	min, max int
+	adaptive bool
+	fixedLin time.Duration // configured Linger (fixed mode uses it as-is)
+	lingCap  time.Duration // adaptive linger ceiling
+
+	mu     sync.Mutex
+	target int
+	ewma   time.Duration // smoothed instance execution time
+}
+
+// newBatchController resolves the Config batching knobs into a controller.
+// Precedence: an explicit BatchMin/BatchMax window wins; otherwise BatchSize
+// fixes the size (min = max); otherwise singletons.
+func newBatchController(cfg Config) (*batchController, error) {
+	min, max := cfg.BatchMin, cfg.BatchMax
+	if max < 1 {
+		if min > 1 {
+			return nil, fmt.Errorf("service: BatchMin %d without BatchMax", min)
+		}
+		max = cfg.BatchSize
+		if max < 1 {
+			max = 1
+		}
+		min = max // fixed size
+	}
+	if min < 1 {
+		min = 1
+	}
+	if min > max {
+		return nil, fmt.Errorf("service: BatchMin %d exceeds BatchMax %d", min, max)
+	}
+	target := cfg.BatchTarget
+	if target < min {
+		target = min
+	}
+	if target > max {
+		target = max
+	}
+	lingCap := cfg.Linger
+	if lingCap <= 0 {
+		lingCap = defaultAdaptiveLinger
+	}
+	return &batchController{
+		min:      min,
+		max:      max,
+		adaptive: max > min,
+		fixedLin: cfg.Linger,
+		lingCap:  lingCap,
+		target:   target,
+	}, nil
+}
+
+// plan decides the size and linger bound for the batch now forming, given
+// the admission-queue depth observed by the sequencer (not counting the
+// value already in hand).
+func (b *batchController) plan(queued int) decision {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := decision{size: b.target}
+	if b.adaptive {
+		switch {
+		case queued >= b.target && b.target < b.max:
+			// Backlog: at least a full further batch is already waiting.
+			d.prev, d.moved, d.grew = b.target, true, true
+			b.target *= 2
+			if b.target > b.max {
+				b.target = b.max
+			}
+		case queued == 0 && b.target > b.min:
+			// Idle: nothing waiting beyond the value in hand.
+			d.prev, d.moved, d.grew = b.target, true, false
+			b.target /= 2
+			if b.target < b.min {
+				b.target = b.min
+			}
+		}
+		d.size = b.target
+	}
+	d.linger = b.lingerFor(d.size, queued)
+	return d
+}
+
+// lingerFor bounds the straggler wait (callers hold b.mu).
+func (b *batchController) lingerFor(size, queued int) time.Duration {
+	if !b.adaptive {
+		return b.fixedLin
+	}
+	if size <= 1 || queued+1 >= size {
+		// Singleton fast path, or the batch can already be filled from the
+		// queue without waiting.
+		return 0
+	}
+	l := b.lingCap
+	if b.ewma > 0 && b.ewma/2 < l {
+		l = b.ewma / 2
+	}
+	return l
+}
+
+// observe feeds one instance's execution time into the latency EWMA
+// (weight 1/4 on the new sample).
+func (b *batchController) observe(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	b.mu.Lock()
+	if b.ewma == 0 {
+		b.ewma = d
+	} else {
+		b.ewma = (3*b.ewma + d) / 4
+	}
+	b.mu.Unlock()
+}
+
+// snapshot returns the current target (for tests and stats).
+func (b *batchController) snapshot() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.target
+}

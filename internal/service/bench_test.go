@@ -71,3 +71,94 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		})
 	}
 }
+
+// latencyModeledRun wraps the in-memory substrate with a fixed per-instance
+// delay, modeling the regime the TCP mesh actually serves in: instance time
+// dominated by network round trips (phases × RTT), not local CPU. In that
+// regime sharding overlaps the waits, so throughput scales with the shard
+// count even on a single core — which is the scaling BenchmarkServiceSharded
+// measures. (A pure-CPU instance on one core cannot scale by sharding; the
+// fixed/1-shard rows double as that baseline.)
+func latencyModeledRun(d time.Duration) service.RunFunc {
+	return func(ctx context.Context, cfg core.Config) (service.Outcome, error) {
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return service.Outcome{}, ctx.Err()
+		}
+		return service.RunSim(ctx, cfg)
+	}
+}
+
+// BenchmarkServiceSharded sweeps shard count × batching policy over the
+// latency-modeled substrate: values/s should rise roughly linearly with
+// shards (the tentpole's ≥2x-at-4-shards criterion), and the adaptive
+// policy should cut msgs/value versus fixed k=1 under the same backlog by
+// packing batches once the queue builds. Emitted as BENCH_004.json by
+// `make bench-service`.
+func BenchmarkServiceSharded(b *testing.B) {
+	const instLatency = 2 * time.Millisecond
+	type policy struct {
+		name string
+		cfg  func(*service.Config)
+	}
+	policies := []policy{
+		{"fixed1", func(c *service.Config) { c.BatchSize = 1 }},
+		{"adaptive", func(c *service.Config) { c.BatchMin, c.BatchMax = 1, 16 }},
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, pol := range policies {
+			b.Run(fmt.Sprintf("shards=%d/%s", shards, pol.name), func(b *testing.B) {
+				ctx := context.Background()
+				cfg := service.Config{
+					Template:   core.Config{Protocol: alg1.MultiProtocol{}, N: 7, T: 3, Seed: 99},
+					Run:        latencyModeledRun(instLatency),
+					Shards:     shards,
+					QueueDepth: 1024,
+				}
+				pol.cfg(&cfg)
+				svc, err := service.New(ctx, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Enough closed-loop submitters to keep every shard busy and
+				// a backlog queued (so the adaptive controller sees pressure).
+				b.SetParallelism(4 * 8)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						v := ident.Value(i % 251)
+						i++
+						for {
+							_, err := svc.SubmitWait(ctx, v)
+							if errors.Is(err, service.ErrQueueFull) {
+								time.Sleep(50 * time.Microsecond)
+								continue
+							}
+							if err != nil {
+								b.Error(err)
+							}
+							break
+						}
+					}
+				})
+				b.StopTimer()
+				svc.Close()
+				st := svc.Stats()
+				if st.ValuesDecided < uint64(b.N) {
+					b.Fatalf("decided %d of %d values", st.ValuesDecided, b.N)
+				}
+				elapsed := b.Elapsed()
+				if elapsed > 0 {
+					b.ReportMetric(float64(st.ValuesDecided)/elapsed.Seconds(), "values/s")
+				}
+				b.ReportMetric(st.AmortizedMessagesPerValue(), "msgs/value")
+				b.ReportMetric(float64(st.ValuesDecided)/float64(st.Instances), "values/instance")
+				b.ReportMetric(float64(st.BatchGrows), "grows")
+			})
+		}
+	}
+}

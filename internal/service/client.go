@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"sort"
@@ -164,17 +165,21 @@ func (ls *LoadStats) Throughput() float64 {
 	return float64(ls.Submitted) / ls.Elapsed.Seconds()
 }
 
-// Percentile returns the p-th latency percentile (0 < p <= 100).
+// Percentile returns the p-th latency percentile (0 < p <= 100) using the
+// nearest-rank (ceiling) definition: the smallest recorded latency that at
+// least p percent of samples do not exceed. With two samples, p=90 is the
+// max, not the min — small-sample tails stay conservative.
 func (ls *LoadStats) Percentile(p float64) time.Duration {
-	if len(ls.Latencies) == 0 {
+	n := len(ls.Latencies)
+	if n == 0 {
 		return 0
 	}
-	idx := int(p/100*float64(len(ls.Latencies))) - 1
+	idx := int(math.Ceil(p/100*float64(n))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(ls.Latencies) {
-		idx = len(ls.Latencies) - 1
+	if idx >= n {
+		idx = n - 1
 	}
 	return ls.Latencies[idx]
 }

@@ -1,0 +1,75 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/protocols/alg1"
+	"byzex/internal/service"
+)
+
+// ExampleService_SubmitWait serves a single value synchronously: one
+// submission becomes one agreement instance (seed = template seed +
+// instance id), and the result reports what the correct processors decided.
+func ExampleService_SubmitWait() {
+	ctx := context.Background()
+	svc, err := service.New(ctx, service.Config{
+		Template: core.Config{Protocol: alg1.MultiProtocol{}, N: 7, T: 3, Seed: 42},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer svc.Close()
+
+	res, err := svc.SubmitWait(ctx, 7)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("decided %d committed %v instance %d seed %d\n",
+		res.Decided, res.Committed, res.Instance.ID, res.Instance.Config.Seed)
+	// Output:
+	// decided 7 committed true instance 0 seed 42
+}
+
+// ExampleService_Submit pipelines several values without blocking between
+// submissions: each returned channel resolves when its value's instance is
+// delivered. Instance ids are assigned in admission order, so sequential
+// submissions map to dense, deterministic ids.
+func ExampleService_Submit() {
+	ctx := context.Background()
+	svc, err := service.New(ctx, service.Config{
+		Template:   core.Config{Protocol: alg1.MultiProtocol{}, N: 7, T: 3, Seed: 1},
+		QueueDepth: 8,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer svc.Close()
+
+	var chans []<-chan service.Result
+	for v := ident.Value(1); v <= 3; v++ {
+		ch, err := svc.Submit(v)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		chans = append(chans, ch)
+	}
+	for _, ch := range chans {
+		res := <-ch
+		if res.Err != nil {
+			fmt.Println(res.Err)
+			return
+		}
+		fmt.Printf("value %d -> instance %d decided %d\n", res.Value, res.Instance.ID, res.Decided)
+	}
+	// Output:
+	// value 1 -> instance 0 decided 1
+	// value 2 -> instance 1 decided 2
+	// value 3 -> instance 2 decided 3
+}

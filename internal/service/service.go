@@ -7,31 +7,39 @@
 //
 // The pipeline has three bounded stages:
 //
-//	Submit → admission queue → batcher → executor → in-order delivery
+//	Submit → admission queue → sequencer/batcher → shard workers → in-order delivery
 //
 // Admission is a bounded queue with typed rejections (ErrQueueFull,
-// ErrDraining) — the backpressure surface. The batcher (one goroutine, so
+// ErrDraining) — the backpressure surface. The sequencer (one goroutine, so
 // instance ids are assigned deterministically in admission order) coalesces
-// up to BatchSize values into one Instance, waiting at most Linger for a
-// batch to fill; each instance agrees on the packed batch value (see
-// PackValues). The executor is a runner.Stream on a bounded pool: at most
-// MaxInFlight instances execute concurrently, and results are delivered in
-// instance-id order regardless of scheduling, the same submission-order
-// determinism contract runner.Map gives the evaluation sweeps. Close (or
-// cancellation of the context passed to New) drains gracefully: admission
-// stops, buffered requests are still dispatched, and Close returns only
-// after every in-flight instance has been delivered.
+// queued values into one Instance per batch; batch size is either fixed
+// (BatchSize) or governed by the adaptive controller (BatchMin/BatchMax),
+// which grows the target under backlog and shrinks it when the queue runs
+// idle. Formed instances are handed to a pool of Shards identified workers
+// (runner.Shards): each shard runs instances concurrently with its own
+// substrate handle and its own reusable trace buffer, and results are
+// delivered in instance-id order regardless of which shard finished first —
+// the same submission-order determinism contract runner.Map gives the
+// evaluation sweeps. Close (or cancellation of the context passed to New)
+// drains gracefully: admission stops, buffered requests are still
+// dispatched, and Close returns only after every in-flight instance has
+// been delivered.
 //
 // Each instance derives its seed as Template.Seed + instance id, so any
 // instance the service ran can be re-executed serially with core.Run and
 // must produce byte-identical decisions — the property `baload -verify` and
-// the determinism tests check.
+// the determinism tests check. Because ids are assigned by the single
+// sequencer and delivery is id-ordered, the instance-scoped trace events
+// (instance-start, per-instance internals, instance-done) are byte-identical
+// at any shard count too; only the admission-scoped events (enqueue, reject,
+// batch-adapt) reflect live load (see trace.Kind.AdmissionScoped).
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -58,7 +66,7 @@ var (
 	// template corrupts the transmitter): the submission's value was not
 	// served, even though the instance itself is a valid agreement.
 	ErrNotCommitted = errors.New("service: instance decided a different value")
-	// ErrBatchingUnsupported rejects a BatchSize > 1 configuration whose
+	// ErrBatchingUnsupported rejects a batch window above 1 whose
 	// protocol only carries binary values: a packed batch digest is an
 	// arbitrary int64, so batching requires one of the multi-valued
 	// protocol variants (alg1-multi, alg4, dolev-strong, ...).
@@ -68,35 +76,59 @@ var (
 // Config parameterizes a Service.
 type Config struct {
 	// Template is the per-instance run description: Protocol, N, T,
-	// Transmitter, Scheme, Adversary, Rushing are used as-is; Value is
-	// replaced by the packed batch value, Seed becomes the base seed
+	// Transmitter, Scheme, Adversary, Rushing, Faults are used as-is; Value
+	// is replaced by the packed batch value, Seed becomes the base seed
 	// (instance i runs with Template.Seed + i), and Trace is ignored in
 	// favor of the service-level sink below.
 	Template core.Config
-	// Run executes one instance (default RunSim).
+	// Run executes one instance (default RunSim). Implementations must be
+	// safe for concurrent use from distinct shards.
 	Run RunFunc
-	// MaxInFlight bounds how many instances execute concurrently; values
-	// below one select runtime.GOMAXPROCS(0) (see runner.New).
+	// NewShardRun, when set, supplies each shard worker its own substrate
+	// handle at startup instead of sharing Run — for substrates that keep
+	// per-handle state (connection pools, caches). The handle is only ever
+	// called from its own shard, one instance at a time.
+	NewShardRun func(shard int) RunFunc
+	// Shards is the number of identified shard workers executing instances
+	// concurrently; values below one select runtime.GOMAXPROCS(0).
+	Shards int
+	// MaxInFlight is the deprecated name for Shards, honored when Shards
+	// is zero so existing callers keep their concurrency bound.
+	//
+	// Deprecated: set Shards.
 	MaxInFlight int
 	// QueueDepth bounds the admission queue (default 64, minimum 1).
 	QueueDepth int
-	// BatchSize is the maximum number of submitted values coalesced into
-	// one instance (default 1 = no batching).
+	// BatchSize fixes the batch size when no adaptive window is configured
+	// (default 1 = no batching): every instance packs up to BatchSize
+	// values.
 	BatchSize int
-	// Linger bounds how long the batcher waits for a partial batch to
-	// fill once it holds at least one value. Zero means "don't wait":
-	// a batch is whatever is already queued, up to BatchSize.
+	// BatchMin / BatchMax open the adaptive batching window: when
+	// BatchMax > max(BatchMin, 1), a controller on the sequencer moves the
+	// target batch size inside [max(BatchMin,1), BatchMax] — doubling under
+	// backlog (queue depth at or above the target when a batch forms),
+	// halving when the queue runs idle, dispatching singletons immediately
+	// on the idle fast path. Decisions are emitted as batch-adapt trace
+	// events and counted in Stats.
+	BatchMin, BatchMax int
+	// BatchTarget seeds the controller's initial target (clamped into the
+	// window; default BatchMin).
+	BatchTarget int
+	// Linger bounds how long the sequencer waits for a partial batch to
+	// fill once it holds at least one value. Zero means "don't wait" for
+	// fixed-size batching; under an adaptive window it means "derive the
+	// bound from observed instance latency" (capped at 2ms).
 	Linger time.Duration
-	// Trace receives the serving-layer events (enqueue, reject,
+	// Trace receives the serving-layer events (enqueue, reject, batch-adapt,
 	// instance-start, instance-done). Emissions are serialized internally,
 	// so any sink works. Instance-internal events are only recorded when
 	// TraceInstances is also set.
 	Trace trace.Sink
-	// TraceInstances additionally runs every instance with a private
-	// trace buffer drained into Trace at delivery time — instance events
-	// therefore appear in instance-id order, bracketed by that instance's
-	// instance-done event, no matter how the executor interleaved the
-	// runs.
+	// TraceInstances additionally runs every instance against its shard's
+	// private trace buffer, drained into Trace at delivery time — instance
+	// events therefore appear in instance-id order, bracketed by that
+	// instance's instance-start and instance-done events, no matter which
+	// shard ran it or how the shards interleaved.
 	TraceInstances bool
 }
 
@@ -128,6 +160,11 @@ type InstanceResult struct {
 	Decisions map[ident.ProcID]sim.Decision
 	Report    metrics.Report
 	Faulty    ident.Set
+	// Shard is the shard worker that executed the instance. It is an
+	// operational detail — which shard runs which instance depends on
+	// scheduling — and is deliberately absent from the trace, which stays
+	// byte-identical across shard counts.
+	Shard int
 	// Err is the run or agreement-check failure, nil on success.
 	Err error
 }
@@ -173,6 +210,17 @@ type Stats struct {
 	// over resolved values (TotalLatency / ValuesDecided is the mean).
 	MaxLatency   time.Duration
 	TotalLatency time.Duration
+	// Shards is the configured shard-worker count; ShardInstances counts
+	// delivered instances per shard (index = shard id) — the load-balance
+	// gauge.
+	Shards         int
+	ShardInstances []uint64
+	// BatchTarget is the controller's current target batch size (the fixed
+	// size when no adaptive window is configured); BatchGrows / BatchShrinks
+	// count its adaptive moves.
+	BatchTarget  int
+	BatchGrows   uint64
+	BatchShrinks uint64
 }
 
 // AmortizedMessagesPerValue returns correct-sender messages per decided
@@ -195,9 +243,10 @@ func (s Stats) AmortizedSignaturesPerValue() float64 {
 
 // String renders a compact single-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("submitted=%d rejected=%d/%d instances=%d(failed %d) values=%d qhw=%d msgs/value=%.1f sigs/value=%.1f",
+	return fmt.Sprintf("submitted=%d rejected=%d/%d instances=%d(failed %d) values=%d qhw=%d shards=%d batch=%d(+%d/-%d) msgs/value=%.1f sigs/value=%.1f",
 		s.Submitted, s.RejectedFull, s.RejectedDraining, s.Instances, s.InstancesFailed,
-		s.ValuesDecided, s.QueueHighWater, s.AmortizedMessagesPerValue(), s.AmortizedSignaturesPerValue())
+		s.ValuesDecided, s.QueueHighWater, s.Shards, s.BatchTarget, s.BatchGrows, s.BatchShrinks,
+		s.AmortizedMessagesPerValue(), s.AmortizedSignaturesPerValue())
 }
 
 // request is one queued submission.
@@ -207,12 +256,27 @@ type request struct {
 	ch    chan Result // buffered(1); exactly one send per request
 }
 
-// completed pairs an instance outcome with the requests it resolves, so the
-// stream delivery callback can complete the futures in instance order.
-type completed struct {
-	inst *InstanceResult
+// dispatched is one formed instance on its way to a shard worker.
+type dispatched struct {
+	inst Instance
 	reqs []*request
-	buf  *trace.Buffer // per-instance trace (nil unless TraceInstances)
+}
+
+// completed pairs an instance outcome with the requests it resolves, so the
+// delivery stage can complete the futures in instance order.
+type completed struct {
+	inst   *InstanceResult
+	reqs   []*request
+	events []trace.Event // per-instance trace (nil unless TraceInstances)
+	runDur time.Duration // substrate execution time, feeds the controller
+}
+
+// shardState is the per-worker state pinned to one shard: its substrate
+// handle and, when per-instance tracing is on, its reusable trace buffer.
+// Only the owning shard touches it, so no locking is needed.
+type shardState struct {
+	run RunFunc
+	buf *trace.Buffer
 }
 
 // Service is the long-running serving layer. Construct with New; a Service
@@ -221,7 +285,9 @@ type Service struct {
 	cfg    Config
 	ctx    context.Context
 	queue  chan *request
-	stream *runner.Stream[*completed]
+	exec   *runner.Shards[*dispatched, *completed]
+	shards []shardState
+	policy *batchController
 	sink   trace.Sink // serialized; nil when tracing is disabled
 
 	draining    chan struct{} // closed by Close
@@ -250,10 +316,18 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 	if cfg.QueueDepth < 1 {
 		cfg.QueueDepth = 64
 	}
-	if cfg.BatchSize < 1 {
-		cfg.BatchSize = 1
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = cfg.MaxInFlight
 	}
-	if cfg.BatchSize > 1 {
+	if shards < 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	policy, err := newBatchController(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if policy.max > 1 {
 		// Batching packs a batch into an arbitrary int64 digest; probe the
 		// protocol with a non-binary value so a binary-only protocol is
 		// rejected here, with a typed error, instead of failing every
@@ -274,13 +348,27 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 		cfg:         cfg,
 		ctx:         ctx,
 		queue:       make(chan *request, cfg.QueueDepth),
+		policy:      policy,
 		draining:    make(chan struct{}),
 		batcherDone: make(chan struct{}),
 	}
+	s.stats.Shards = shards
+	s.stats.ShardInstances = make([]uint64, shards)
+	s.stats.BatchTarget = policy.target
 	if cfg.Trace != nil {
 		s.sink = &lockedSink{dst: cfg.Trace}
 	}
-	s.stream = runner.NewStream[*completed](runner.New(cfg.MaxInFlight), s.deliver)
+	s.shards = make([]shardState, shards)
+	for i := range s.shards {
+		s.shards[i].run = cfg.Run
+		if cfg.NewShardRun != nil {
+			s.shards[i].run = cfg.NewShardRun(i)
+		}
+		if s.sink != nil && cfg.TraceInstances {
+			s.shards[i].buf = trace.NewBuffer()
+		}
+	}
+	s.exec = runner.NewShards(shards, s.runOnShard, s.deliver)
 	go s.batcher()
 	if ctx.Done() != nil {
 		go func() {
@@ -359,7 +447,9 @@ func (s *Service) reject(draining bool) {
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	out := s.stats
+	out.ShardInstances = append([]uint64(nil), s.stats.ShardInstances...)
+	return out
 }
 
 // Close drains the service: admission stops (Submit returns ErrDraining),
@@ -369,12 +459,13 @@ func (s *Service) Stats() Stats {
 func (s *Service) Close() {
 	s.drainOnce.Do(func() { close(s.draining) })
 	<-s.batcherDone
-	s.stream.Close()
+	s.exec.Close()
 }
 
-// batcher is the single goroutine that forms batches and dispatches
-// instances; being alone on this path makes instance ids (and therefore
-// seeds) deterministic in admission order.
+// batcher is the single sequencer goroutine that forms batches and
+// dispatches instances; being alone on this path makes instance ids (and
+// therefore seeds) deterministic in admission order, and makes the adaptive
+// controller's reads of the queue depth consistent.
 func (s *Service) batcher() {
 	defer close(s.batcherDone)
 	for {
@@ -396,20 +487,21 @@ func (s *Service) batcher() {
 	}
 }
 
-// fill grows a batch starting at first up to BatchSize, lingering for
-// stragglers when allowed and configured.
+// fill grows a batch starting at first up to the controller's current
+// target, lingering for stragglers when allowed and configured.
 func (s *Service) fill(first *request, mayLinger bool) []*request {
+	size, linger := s.plan(len(s.queue))
 	batch := []*request{first}
-	if s.cfg.BatchSize == 1 {
+	if size <= 1 {
 		return batch
 	}
 	var lingerC <-chan time.Time
-	if mayLinger && s.cfg.Linger > 0 {
-		timer := time.NewTimer(s.cfg.Linger)
+	if mayLinger && linger > 0 {
+		timer := time.NewTimer(linger)
 		defer timer.Stop()
 		lingerC = timer.C
 	}
-	for len(batch) < s.cfg.BatchSize {
+	for len(batch) < size {
 		if lingerC == nil {
 			// No linger: take only what is already queued.
 			select {
@@ -432,10 +524,32 @@ func (s *Service) fill(first *request, mayLinger bool) []*request {
 	return batch
 }
 
-// dispatch assigns the next instance id, resolves the template and submits
-// the run to the executor; Submit blocks when MaxInFlight instances are
-// already executing, which is what lets the admission queue fill and
-// reject — bounded end to end.
+// plan consults the batch controller with the observed queue depth, records
+// any target move in the stats, and emits it as a batch-adapt event.
+func (s *Service) plan(queued int) (size int, linger time.Duration) {
+	dec := s.policy.plan(queued)
+	if dec.moved {
+		s.mu.Lock()
+		s.stats.BatchTarget = dec.size
+		if dec.grew {
+			s.stats.BatchGrows++
+		} else {
+			s.stats.BatchShrinks++
+		}
+		s.mu.Unlock()
+		if s.sink != nil {
+			s.sink.Emit(trace.Event{
+				Kind: trace.KindBatchAdapt, From: ident.None, To: ident.None,
+				Signers: dec.prev, Sigs: dec.size, Bytes: queued, Flag: dec.grew,
+			})
+		}
+	}
+	return dec.size, dec.linger
+}
+
+// dispatch assigns the next instance id, resolves the template and hands the
+// instance to the shard pool; Submit blocks when every shard is busy, which
+// is what lets the admission queue fill and reject — bounded end to end.
 func (s *Service) dispatch(batch []*request) {
 	s.mu.Lock()
 	id := s.nextInstance
@@ -454,41 +568,35 @@ func (s *Service) dispatch(batch []*request) {
 	cfg.Trace = nil
 
 	inst := Instance{ID: id, Config: cfg, Values: values}
-	if s.sink != nil {
-		s.sink.Emit(trace.Event{
-			Kind: trace.KindInstanceStart, From: ident.None, To: ident.None,
-			Signers: int(id), Sigs: len(values), Value: packed,
-		})
-	}
-
-	// Submission must not race with the service context: drain dispatches
-	// every admitted value even after cancellation (the run itself then
-	// fails fast on the cancelled context), so the executor slot wait uses
-	// the background context and the run uses the service one.
-	_, err := s.stream.Submit(context.Background(), func(context.Context) (*completed, error) {
-		return s.runInstance(inst, batch), nil
-	})
-	if err != nil {
-		// Only possible after stream.Close, which Close orders strictly
-		// after the batcher exits — keep the requests from hanging anyway.
+	if _, err := s.exec.Submit(&dispatched{inst: inst, reqs: batch}); err != nil {
+		// Only possible after exec.Close, which Close orders strictly after
+		// the batcher exits — keep the requests from hanging anyway.
 		s.fail(batch, inst, err)
 	}
 }
 
-// runInstance executes one instance on the substrate and packages the
-// outcome; it runs on an executor worker.
-func (s *Service) runInstance(inst Instance, reqs []*request) *completed {
-	cfg := inst.Config
-	var buf *trace.Buffer
-	if s.sink != nil && s.cfg.TraceInstances {
-		buf = trace.NewBuffer()
-		cfg.Trace = buf
+// runOnShard executes one instance on its shard's substrate handle and
+// packages the outcome; it runs on the shard's worker goroutine, so the
+// shard state is touched without locking.
+func (s *Service) runOnShard(shard int, d *dispatched) *completed {
+	st := &s.shards[shard]
+	cfg := d.inst.Config
+	if st.buf != nil {
+		cfg.Trace = st.buf
 	}
-	res := &InstanceResult{Instance: inst}
-	out, err := s.cfg.Run(s.ctx, cfg)
+	res := &InstanceResult{Instance: d.inst, Shard: shard}
+	start := time.Now()
+	out, err := st.run(s.ctx, cfg)
+	c := &completed{inst: res, reqs: d.reqs, runDur: time.Since(start)}
+	if st.buf != nil {
+		// Snapshot the shard buffer: delivery may happen after this shard
+		// has moved on to its next instance and reset the buffer.
+		c.events = append([]trace.Event(nil), st.buf.Events()...)
+		st.buf.Reset()
+	}
 	if err != nil {
 		res.Err = err
-		return &completed{inst: res, reqs: reqs, buf: buf}
+		return c
 	}
 	res.Decisions = out.Decisions
 	res.Report = out.Report
@@ -496,22 +604,28 @@ func (s *Service) runInstance(inst Instance, reqs []*request) *completed {
 	decided, err := core.CheckDecisions(out.Decisions, out.Faulty, cfg.Transmitter, cfg.Value)
 	if err != nil {
 		res.Err = err
-		return &completed{inst: res, reqs: reqs, buf: buf}
+		return c
 	}
 	res.Decided = decided
 	res.Committed = decided == cfg.Value
-	return &completed{inst: res, reqs: reqs, buf: buf}
+	return c
 }
 
-// deliver runs on the executor in strict instance-id order (runner.Stream's
-// contract): it folds the outcome into the stats, drains the instance's
-// private trace, emits instance-done and resolves the batch's futures.
-func (s *Service) deliver(_ uint64, c *completed, _ error) {
+// deliver runs in strict instance-id order (runner.Shards' contract): it
+// folds the outcome into the stats, feeds the controller's latency signal,
+// emits the instance-scoped trace (start, internals, done) and resolves the
+// batch's futures. Everything emitted here is deterministic for a given
+// template and admission order, whatever the shard count.
+func (s *Service) deliver(_ uint64, c *completed) {
 	inst := c.inst
 	now := time.Now()
+	s.policy.observe(c.runDur)
 
 	s.mu.Lock()
 	s.stats.Instances++
+	if inst.Shard >= 0 && inst.Shard < len(s.stats.ShardInstances) {
+		s.stats.ShardInstances[inst.Shard]++
+	}
 	if inst.Err != nil {
 		s.stats.InstancesFailed++
 	} else {
@@ -532,8 +646,12 @@ func (s *Service) deliver(_ uint64, c *completed, _ error) {
 	s.mu.Unlock()
 
 	if s.sink != nil {
-		if c.buf != nil {
-			c.buf.DrainTo(s.sink)
+		s.sink.Emit(trace.Event{
+			Kind: trace.KindInstanceStart, From: ident.None, To: ident.None,
+			Signers: int(inst.ID), Sigs: len(inst.Values), Value: inst.Config.Value,
+		})
+		for _, e := range c.events {
+			s.sink.Emit(e)
 		}
 		s.sink.Emit(trace.Event{
 			Kind: trace.KindInstanceDone, From: ident.None, To: ident.None,
@@ -560,7 +678,7 @@ func (s *Service) deliver(_ uint64, c *completed, _ error) {
 
 // fail resolves a batch whose instance could not even be scheduled.
 func (s *Service) fail(batch []*request, inst Instance, err error) {
-	res := &InstanceResult{Instance: inst, Err: err}
+	res := &InstanceResult{Instance: inst, Shard: -1, Err: err}
 	now := time.Now()
 	s.mu.Lock()
 	s.stats.Instances++
@@ -571,7 +689,7 @@ func (s *Service) fail(batch []*request, inst Instance, err error) {
 	}
 }
 
-// lockedSink serializes emissions from concurrent submitters and executor
+// lockedSink serializes emissions from concurrent submitters and shard
 // workers onto one underlying sink.
 type lockedSink struct {
 	mu  sync.Mutex

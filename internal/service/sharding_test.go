@@ -1,0 +1,338 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"byzex/internal/core"
+	"byzex/internal/faultnet"
+	"byzex/internal/ident"
+	"byzex/internal/service"
+	"byzex/internal/trace"
+)
+
+// runWorkload drives `values` sequential submissions through a fresh service
+// built from cfg and returns the results in submission order plus the final
+// stats and the recorded trace. Submissions are sequential so admission
+// order — and therefore instance ids and seeds — is identical across runs.
+func runWorkload(t *testing.T, cfg service.Config, values int) ([]service.Result, service.Stats, []trace.Event) {
+	t.Helper()
+	buf := trace.NewBuffer()
+	cfg.Trace = buf
+	cfg.TraceInstances = true
+	svc, err := service.New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]service.Result, values)
+	chans := make([]<-chan service.Result, values)
+	for i := 0; i < values; i++ {
+		ch, err := svc.Submit(ident.Value(i))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		results[i] = <-ch
+	}
+	svc.Close()
+	return results, svc.Stats(), buf.Events()
+}
+
+// deterministicEvents drops the admission-scoped events (enqueue, reject,
+// batch-adapt — they carry live queue gauges) and keeps the instance-scoped
+// stream that the sharding contract promises is byte-identical at any shard
+// count.
+func deterministicEvents(events []trace.Event) []trace.Event {
+	out := make([]trace.Event, 0, len(events))
+	for _, e := range events {
+		if !e.Kind.AdmissionScoped() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestShardingDeterministic is the tentpole's core contract: the same
+// workload served at 1 shard and at 4 shards produces identical decisions,
+// identical information-exchange metrics and a byte-identical instance-scoped
+// trace — sharding changes wall-clock behavior only.
+func TestShardingDeterministic(t *testing.T) {
+	const values = 40
+	base := service.Config{
+		Template:   multiTemplate(7),
+		QueueDepth: values,
+	}
+
+	cfg1 := base
+	cfg1.Shards = 1
+	res1, stats1, ev1 := runWorkload(t, cfg1, values)
+
+	cfg4 := base
+	cfg4.Shards = 4
+	res4, stats4, ev4 := runWorkload(t, cfg4, values)
+
+	if stats4.Shards != 4 || len(stats4.ShardInstances) != 4 {
+		t.Fatalf("shard gauges not wired: %+v", stats4)
+	}
+	for i := range res1 {
+		a, b := res1[i], res4[i]
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("value %d failed: %v / %v", i, a.Err, b.Err)
+		}
+		if a.Decided != b.Decided || a.Committed != b.Committed {
+			t.Fatalf("value %d diverged: 1-shard (%v,%v) vs 4-shard (%v,%v)",
+				i, a.Decided, a.Committed, b.Decided, b.Committed)
+		}
+		if a.Instance.ID != b.Instance.ID || a.Instance.Config.Seed != b.Instance.Config.Seed {
+			t.Fatalf("value %d instance identity diverged: id %d seed %d vs id %d seed %d",
+				i, a.Instance.ID, a.Instance.Config.Seed, b.Instance.ID, b.Instance.Config.Seed)
+		}
+	}
+	if stats1.MessagesCorrect != stats4.MessagesCorrect ||
+		stats1.SignaturesCorrect != stats4.SignaturesCorrect ||
+		stats1.ValuesDecided != stats4.ValuesDecided {
+		t.Fatalf("metrics diverged:\n1 shard: %s\n4 shards: %s", stats1, stats4)
+	}
+
+	var buf1, buf4 bytes.Buffer
+	if err := trace.WriteJSONL(&buf1, deterministicEvents(ev1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSONL(&buf4, deterministicEvents(ev4)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf4.Bytes()) {
+		t.Fatalf("instance-scoped trace not byte-identical across shard counts (%d vs %d bytes)",
+			buf1.Len(), buf4.Len())
+	}
+}
+
+// TestShardingFaultPlanDeterministic extends the contract to fault
+// injection: an in-budget fault plan produces the same decisions and the
+// same fault counters whether instances run on 1 shard or concurrently on 4.
+func TestShardingFaultPlanDeterministic(t *testing.T) {
+	const values = 12
+	tmpl := multiTemplate(11)
+	tmpl.Faults = faultnet.MustParse("crash=6@3;drop=2->4@1-2/0.5", tmpl.Seed)
+	if err := tmpl.Faults.CheckBudget(tmpl.N, tmpl.T); err != nil {
+		t.Fatalf("fault plan out of budget: %v", err)
+	}
+	tmpl.FaultyOverride = tmpl.Faults.Affected(tmpl.N)
+	base := service.Config{Template: tmpl, QueueDepth: values}
+
+	cfg1, cfg4 := base, base
+	cfg1.Shards = 1
+	cfg4.Shards = 4
+	res1, _, ev1 := runWorkload(t, cfg1, values)
+	res4, _, ev4 := runWorkload(t, cfg4, values)
+
+	for i := range res1 {
+		if res1[i].Err != nil || res4[i].Err != nil {
+			t.Fatalf("value %d failed under faults: %v / %v", i, res1[i].Err, res4[i].Err)
+		}
+		if res1[i].Decided != res4[i].Decided {
+			t.Fatalf("value %d decided %v at 1 shard, %v at 4", i, res1[i].Decided, res4[i].Decided)
+		}
+	}
+	s1 := trace.Summarize(deterministicEvents(ev1))
+	s4 := trace.Summarize(deterministicEvents(ev4))
+	if s1.FaultDrops != s4.FaultDrops || s1.FaultCrashes != s4.FaultCrashes {
+		t.Fatalf("fault counters diverged: drops %d/%d crashes %d/%d",
+			s1.FaultDrops, s4.FaultDrops, s1.FaultCrashes, s4.FaultCrashes)
+	}
+}
+
+// TestServiceDrainUnderLoad closes the service while instances are mid-run
+// on several shards: every admitted value must still resolve, submissions
+// after Close must reject with ErrDraining, and Close must not return before
+// the in-flight work is delivered.
+func TestServiceDrainUnderLoad(t *testing.T) {
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	var once sync.Once
+	svc, err := service.New(context.Background(), service.Config{
+		Template:   multiTemplate(5),
+		Shards:     2,
+		QueueDepth: 16,
+		Run: func(ctx context.Context, cfg core.Config) (service.Outcome, error) {
+			once.Do(started.Done)
+			<-release
+			return service.RunSim(ctx, cfg)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const values = 8
+	chans := make([]<-chan service.Result, 0, values)
+	for i := 0; i < values; i++ {
+		ch, err := svc.Submit(ident.Value(i))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		chans = append(chans, ch)
+	}
+	started.Wait() // at least one instance is mid-run on a shard
+
+	closed := make(chan struct{})
+	go func() { svc.Close(); close(closed) }()
+	// Close is draining; probes racing the flip may still be admitted (and
+	// count toward the drain), but the loop must end with the typed
+	// ErrDraining rejection, never ErrQueueFull.
+	extra := 0
+	deadline := time.After(5 * time.Second)
+	for {
+		_, err := svc.Submit(99)
+		if err == nil {
+			extra++
+		} else if errors.Is(err, service.ErrDraining) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("never saw ErrDraining, last err %v", err)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release) // let the gated instances finish
+	for i, ch := range chans {
+		select {
+		case res := <-ch:
+			if res.Err != nil {
+				t.Fatalf("admitted value %d failed during drain: %v", i, res.Err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("admitted value %d never resolved", i)
+		}
+	}
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close never returned")
+	}
+	stats := svc.Stats()
+	if stats.ValuesDecided != uint64(values+extra) {
+		t.Fatalf("drained service decided %d values, want %d", stats.ValuesDecided, values+extra)
+	}
+	if stats.RejectedDraining == 0 {
+		t.Fatal("no draining rejections counted")
+	}
+}
+
+// TestPercentileSmallSamples pins the nearest-rank (ceiling) percentile
+// semantics at the sample counts a short load run actually produces.
+func TestPercentileSmallSamples(t *testing.T) {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	cases := []struct {
+		lats []time.Duration
+		p    float64
+		want time.Duration
+	}{
+		{[]time.Duration{ms(5)}, 50, ms(5)},
+		{[]time.Duration{ms(5)}, 99, ms(5)},
+		{[]time.Duration{ms(1), ms(9)}, 50, ms(1)},
+		{[]time.Duration{ms(1), ms(9)}, 90, ms(9)}, // ceil: p90 of 2 samples is the max
+		{[]time.Duration{ms(1), ms(9)}, 100, ms(9)},
+		{[]time.Duration{ms(1), ms(2), ms(3), ms(4)}, 25, ms(1)},
+		{[]time.Duration{ms(1), ms(2), ms(3), ms(4)}, 26, ms(2)},
+		{[]time.Duration{ms(1), ms(2), ms(3), ms(4)}, 75, ms(3)},
+		{[]time.Duration{ms(1), ms(2), ms(3), ms(4)}, 99, ms(4)},
+	}
+	for _, c := range cases {
+		ls := &service.LoadStats{Latencies: c.lats}
+		if got := ls.Percentile(c.p); got != c.want {
+			t.Errorf("p%.0f of %v = %v, want %v", c.p, c.lats, got, c.want)
+		}
+	}
+}
+
+// TestAdaptiveBatchingUnderBacklog gates the shards so a backlog builds,
+// then releases it: the controller must grow the target (batch-adapt grow
+// events, amortization visible as fewer instances than values), and once the
+// queue runs dry it must shrink back toward the minimum.
+func TestAdaptiveBatchingUnderBacklog(t *testing.T) {
+	release := make(chan struct{})
+	buf := trace.NewBuffer()
+	svc, err := service.New(context.Background(), service.Config{
+		Template:   multiTemplate(9),
+		Shards:     1,
+		QueueDepth: 64,
+		BatchMin:   1,
+		BatchMax:   8,
+		Run: func(ctx context.Context, cfg core.Config) (service.Outcome, error) {
+			<-release
+			return service.RunSim(ctx, cfg)
+		},
+		Trace: buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const values = 32
+	chans := make([]<-chan service.Result, 0, values)
+	for i := 0; i < values; i++ {
+		ch, err := svc.Submit(ident.Value(i))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		chans = append(chans, ch)
+	}
+	close(release)
+	for i, ch := range chans {
+		res := <-ch
+		if res.Err != nil {
+			t.Fatalf("value %d: %v", i, res.Err)
+		}
+		if res.Decided != res.Value && !res.Committed {
+			t.Fatalf("value %d not committed", i)
+		}
+	}
+	svc.Close()
+
+	stats := svc.Stats()
+	if stats.BatchGrows == 0 {
+		t.Fatalf("controller never grew under backlog: %s", stats)
+	}
+	if stats.Instances >= values {
+		t.Fatalf("no amortization: %d instances for %d values", stats.Instances, values)
+	}
+	sum := trace.Summarize(buf.Events())
+	if sum.BatchGrows != int(stats.BatchGrows) || sum.BatchShrinks != int(stats.BatchShrinks) {
+		t.Fatalf("trace (%d/%d) and stats (%d/%d) disagree on adapt moves",
+			sum.BatchGrows, sum.BatchShrinks, stats.BatchGrows, stats.BatchShrinks)
+	}
+	if sum.BatchTargetPeak < 2 {
+		t.Fatalf("peak target %d, want >= 2", sum.BatchTargetPeak)
+	}
+}
+
+// TestAdaptiveConfigValidation pins the window-resolution errors.
+func TestAdaptiveConfigValidation(t *testing.T) {
+	if _, err := service.New(context.Background(), service.Config{
+		Template: multiTemplate(1),
+		BatchMin: 8, BatchMax: 4,
+	}); err == nil {
+		t.Fatal("BatchMin > BatchMax accepted")
+	}
+	if _, err := service.New(context.Background(), service.Config{
+		Template: multiTemplate(1),
+		BatchMin: 4,
+	}); err == nil {
+		t.Fatal("BatchMin without BatchMax accepted")
+	}
+	if _, err := errSvc(service.New(context.Background(), service.Config{
+		Template: template(1), // binary protocol
+		BatchMin: 1, BatchMax: 4,
+	})); !errors.Is(err, service.ErrBatchingUnsupported) {
+		t.Fatalf("adaptive window on binary protocol: got %v, want ErrBatchingUnsupported", err)
+	}
+}
+
+func errSvc(s *service.Service, err error) (*service.Service, error) { return s, err }

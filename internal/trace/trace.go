@@ -73,6 +73,14 @@ const (
 	//                   Bytes = messages sent by correct processors during
 	//                   the instance (the amortization numerator),
 	//                   Value = decided value, Flag = agreement reached.
+	//
+	// The instance-scoped events (instance-start, the instance's internal
+	// events when per-instance tracing is on, instance-done) are emitted by
+	// the service's delivery stage in strict instance-id order, so that part
+	// of a merged trace is byte-identical at any shard count. The
+	// admission-scoped events (enqueue, reject, batch-adapt) carry live queue
+	// gauges and interleave by wall time — they describe the offered load,
+	// not the deterministic executions (Kind.AdmissionScoped).
 	KindEnqueue
 	KindReject
 	KindInstanceStart
@@ -91,6 +99,14 @@ const (
 	// KindFaultCrash reports processor From halting at the start of phase
 	// Phase under a crash-at-phase-k rule.
 	KindFaultCrash
+	// KindBatchAdapt reports the serving layer's adaptive batching
+	// controller moving its target batch size: Signers = previous target,
+	// Sigs = new target, Bytes = the admission-queue depth that triggered
+	// the decision, Flag = true when the target grew (backlog), false when
+	// it shrank (idle). Like enqueue/reject it is admission-scoped: the
+	// controller reacts to live load, so these events are not part of the
+	// deterministic replay contract.
+	KindBatchAdapt
 )
 
 // kindNames maps kinds to their wire names (see jsonl.go).
@@ -114,6 +130,15 @@ var kindNames = map[Kind]string{
 	KindFaultDup:      "fault-dup",
 	KindFaultReorder:  "fault-reorder",
 	KindFaultCrash:    "fault-crash",
+	KindBatchAdapt:    "batch-adapt",
+}
+
+// AdmissionScoped reports whether k is a serving-layer admission-side event
+// (enqueue, reject, batch-adapt). Those events carry live queue gauges and
+// interleave by wall time, so they are excluded from the byte-identical
+// merged-trace contract the instance-scoped events keep at any shard count.
+func (k Kind) AdmissionScoped() bool {
+	return k == KindEnqueue || k == KindReject || k == KindBatchAdapt
 }
 
 // String implements fmt.Stringer.
@@ -195,6 +220,10 @@ func (b *Buffer) DrainTo(dst Sink) {
 	}
 	b.events = b.events[:0]
 }
+
+// Reset empties the buffer, keeping the backing storage — the serving
+// layer's shard workers reuse one buffer per shard across instances.
+func (b *Buffer) Reset() { b.events = b.events[:0] }
 
 // Ring is a fixed-capacity sink keeping the most recent events. Emitting
 // into a full ring overwrites the oldest event and never allocates — the
