@@ -8,6 +8,9 @@
 #   make test        - plain test run (no race detector)
 #   make bench-service - serving-layer benchmarks; archives BENCH_003.json
 #                      (batch amortization) and BENCH_004.json (shard scaling)
+#   make bench-transport - warm-mesh + frame-path benchmarks; archives
+#                      BENCH_005.json (warm vs cold mesh, zero-alloc frame
+#                      path, warm-TCP shard scaling)
 #   make baexp       - regenerate every evaluation table
 #   make trace-smoke - end-to-end trace pipeline check (basim -trace → batrace)
 #   make faults      - fault-injection scenario matrix under -race (part of check)
@@ -16,7 +19,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check lint test bench bench-trace bench-service baexp trace-smoke faults fuzz
+.PHONY: check lint test bench bench-trace bench-service bench-transport baexp trace-smoke faults fuzz
 
 check: lint faults
 	$(GO) build ./...
@@ -73,6 +76,17 @@ bench-service:
 	| /tmp/benchjson -label current > BENCH_003.json
 	$(GO) test -bench 'BenchmarkServiceSharded' -benchtime=300x -benchmem -run '^$$' -timeout 20m ./internal/service/ \
 	| /tmp/benchjson -label current > BENCH_004.json
+
+# The warm-mesh tentpole numbers (BENCH_005): one instance per iteration over
+# a cold (dial + teardown) versus warm (reused) mesh, the steady-state frame
+# path on a real loopback socket (allocs/op must report 0), and the real-TCP
+# shard sweep over warm meshes with a modeled 2ms link delay — values/s must
+# rise monotonically from 1 to 8 shards.
+bench-transport:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	{ $(GO) test -bench 'BenchmarkMeshWarmVsCold|BenchmarkFramePath' -benchtime=200x -benchmem -run '^$$' ./internal/transport/ ; \
+	  $(GO) test -bench 'BenchmarkServiceWarmTCP' -benchtime=300x -benchmem -run '^$$' -timeout 20m ./internal/service/ ; } \
+	| /tmp/benchjson -label current > BENCH_005.json
 
 # Short fixed-budget fuzzing of every decoder that touches attacker-supplied
 # bytes: the wire codec (seeded from captured real-run envelopes) and the

@@ -32,6 +32,7 @@ import (
 	"byzex/internal/core"
 	"byzex/internal/ident"
 	"byzex/internal/service"
+	"byzex/internal/transport"
 )
 
 func main() {
@@ -54,6 +55,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		batch    = fs.Int("batch", 1, "selfhost: fixed batch size")
 		adaptive = fs.Bool("adaptive", false, "selfhost: adaptive batching in [1, max(-batch,16)]")
 		queue    = fs.Int("queue", 64, "selfhost: admission queue depth")
+		trans    = fs.String("transport", "memory", "selfhost: substrate per instance: memory|tcp")
+		warmMesh = fs.Bool("warm-mesh", false, "selfhost: with -transport tcp, one long-lived mesh per shard")
 
 		// Template flags, consulted with -verify (must match the serving
 		// baserve; the per-instance seed comes from each reply) and with
@@ -96,6 +99,24 @@ func run(args []string, stdout, stderr *os.File) int {
 			Shards:     *shards,
 			QueueDepth: *queue,
 			BatchSize:  *batch,
+		}
+		switch *trans {
+		case "memory":
+			if *warmMesh {
+				fmt.Fprintln(stderr, "-warm-mesh requires -transport tcp")
+				return 1
+			}
+		case "tcp":
+			if *warmMesh {
+				pool := service.NewWarmTCP(tmpl.N, transport.Net{})
+				svcCfg.NewShardRun = pool.NewShardRun
+				svcCfg.CloseShardRun = pool.CloseShard
+			} else {
+				svcCfg.Run = service.RunTCP(transport.Net{})
+			}
+		default:
+			fmt.Fprintf(stderr, "unknown transport %q\n", *trans)
+			return 1
 		}
 		if *adaptive {
 			bmax := *batch

@@ -52,6 +52,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		faultSpec = fs.String("faults", "", `fault-injection spec applied to every instance, e.g. "crash=1@2" (see internal/faultnet)`)
 		schemeStr = fs.String("scheme", "hmac", "signature scheme: hmac|ed25519|plain")
 		trans     = fs.String("transport", "memory", "substrate per instance: memory|tcp")
+		warmMesh  = fs.Bool("warm-mesh", false, "with -transport tcp: one long-lived mesh per shard, reused across instances")
+		linkDelay = fs.Duration("link-delay", 0, "with -transport tcp: modeled one-way link latency per phase")
 		seed      = fs.Int64("seed", 1, "base seed; instance i runs with seed+i")
 		addr      = fs.String("addr", "127.0.0.1:9440", "listen address")
 		batch     = fs.Int("batch", 1, "max values coalesced into one instance (fixed batching)")
@@ -81,10 +83,19 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	runFn := service.RunSim
+	var warmPool *service.WarmTCP
 	switch *trans {
 	case "memory":
+		if *warmMesh {
+			return fail(stderr, fmt.Errorf("-warm-mesh requires -transport tcp"))
+		}
 	case "tcp":
-		runFn = service.RunTCP(transport.Net{})
+		netCfg := transport.Net{LinkDelay: *linkDelay}
+		if *warmMesh {
+			warmPool = service.NewWarmTCP(tmpl.N, netCfg)
+		} else {
+			runFn = service.RunTCP(netCfg)
+		}
 	default:
 		return fail(stderr, fmt.Errorf("unknown transport %q", *trans))
 	}
@@ -110,6 +121,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		BatchSize:   *batch,
 		Linger:      *linger,
 		Trace:       sink,
+	}
+	if warmPool != nil {
+		svcCfg.NewShardRun = warmPool.NewShardRun
+		svcCfg.CloseShardRun = warmPool.CloseShard
 	}
 	if *adaptive {
 		bmax := *batchMax

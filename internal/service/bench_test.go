@@ -11,6 +11,7 @@ import (
 	"byzex/internal/ident"
 	"byzex/internal/protocols/alg1"
 	"byzex/internal/service"
+	"byzex/internal/transport"
 )
 
 // BenchmarkServiceThroughput measures decided values per second through the
@@ -98,6 +99,66 @@ func latencyModeledRun(d time.Duration) service.RunFunc {
 // policy should cut msgs/value versus fixed k=1 under the same backlog by
 // packing batches once the queue builds. Emitted as BENCH_004.json by
 // `make bench-service`.
+// BenchmarkServiceWarmTCP sweeps shard count over the real warm-TCP
+// substrate: every shard owns one long-lived mesh, so the per-instance cost
+// is frame traffic only. Net.LinkDelay models WAN one-way latency (loopback
+// is unrealistically fast), putting instances in the regime a deployment is
+// in — wall clock dominated by network waits, which sharding overlaps.
+// values/s is the headline metric for BENCH_005 (`make bench-transport`),
+// expected to rise monotonically from 1 to 8 shards.
+func BenchmarkServiceWarmTCP(b *testing.B) {
+	netCfg := transport.Net{PhaseTimeout: 10 * time.Second, LinkDelay: 2 * time.Millisecond}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			ctx := context.Background()
+			tmpl := core.Config{Protocol: alg1.MultiProtocol{}, N: 7, T: 3, Seed: 99}
+			pool := service.NewWarmTCP(tmpl.N, netCfg)
+			cfg := service.Config{
+				Template:      tmpl,
+				Shards:        shards,
+				QueueDepth:    1024,
+				BatchSize:     1,
+				NewShardRun:   pool.NewShardRun,
+				CloseShardRun: pool.CloseShard,
+			}
+			svc, err := service.New(ctx, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetParallelism(4 * 8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					v := ident.Value(i % 251)
+					i++
+					for {
+						_, err := svc.SubmitWait(ctx, v)
+						if errors.Is(err, service.ErrQueueFull) {
+							time.Sleep(50 * time.Microsecond)
+							continue
+						}
+						if err != nil {
+							b.Error(err)
+						}
+						break
+					}
+				}
+			})
+			b.StopTimer()
+			svc.Close()
+			st := svc.Stats()
+			if st.ValuesDecided < uint64(b.N) {
+				b.Fatalf("decided %d of %d values", st.ValuesDecided, b.N)
+			}
+			if elapsed := b.Elapsed(); elapsed > 0 {
+				b.ReportMetric(float64(st.ValuesDecided)/elapsed.Seconds(), "values/s")
+			}
+			b.ReportMetric(st.AmortizedMessagesPerValue(), "msgs/value")
+		})
+	}
+}
+
 func BenchmarkServiceSharded(b *testing.B) {
 	const instLatency = 2 * time.Millisecond
 	type policy struct {

@@ -89,6 +89,11 @@ type Config struct {
 	// per-handle state (connection pools, caches). The handle is only ever
 	// called from its own shard, one instance at a time.
 	NewShardRun func(shard int) RunFunc
+	// CloseShardRun, when set, releases the per-shard substrate handle
+	// created by NewShardRun (warm connection meshes, caches). The service
+	// calls it once per shard during Close, after every instance has been
+	// delivered, so the handle is guaranteed idle.
+	CloseShardRun func(shard int)
 	// Shards is the number of identified shard workers executing instances
 	// concurrently; values below one select runtime.GOMAXPROCS(0).
 	Shards int
@@ -293,6 +298,7 @@ type Service struct {
 	draining    chan struct{} // closed by Close
 	drainOnce   sync.Once
 	batcherDone chan struct{}
+	releaseOnce sync.Once // runs CloseShardRun hooks exactly once
 
 	mu           sync.Mutex
 	stats        Stats
@@ -460,6 +466,13 @@ func (s *Service) Close() {
 	s.drainOnce.Do(func() { close(s.draining) })
 	<-s.batcherDone
 	s.exec.Close()
+	if s.cfg.CloseShardRun != nil {
+		s.releaseOnce.Do(func() {
+			for i := range s.shards {
+				s.cfg.CloseShardRun(i)
+			}
+		})
+	}
 }
 
 // batcher is the single sequencer goroutine that forms batches and

@@ -13,6 +13,7 @@ import (
 	"byzex/internal/ident"
 	"byzex/internal/service"
 	"byzex/internal/trace"
+	"byzex/internal/transport"
 )
 
 // runWorkload drives `values` sequential submissions through a fresh service
@@ -336,3 +337,60 @@ func TestAdaptiveConfigValidation(t *testing.T) {
 }
 
 func errSvc(s *service.Service, err error) (*service.Service, error) { return s, err }
+
+// TestShardingDeterministicWarmTCP extends the determinism contract to the
+// warm-mesh substrate: the same workload served over warm TCP meshes at 1
+// shard and at 3 shards must yield identical decisions, metrics and a
+// byte-identical instance-scoped trace. This also exercises epoch reset —
+// every shard's mesh runs many instances back to back — and the service's
+// CloseShardRun teardown hook.
+func TestShardingDeterministicWarmTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP meshes under -short")
+	}
+	const values = 12
+	tmpl := multiTemplate(19)
+	netCfg := transport.Net{PhaseTimeout: 10 * time.Second}
+
+	run := func(shards int) ([]service.Result, service.Stats, []trace.Event) {
+		pool := service.NewWarmTCP(tmpl.N, netCfg)
+		cfg := service.Config{
+			Template:      tmpl,
+			QueueDepth:    values,
+			Shards:        shards,
+			NewShardRun:   pool.NewShardRun,
+			CloseShardRun: pool.CloseShard,
+		}
+		return runWorkload(t, cfg, values)
+	}
+
+	res1, stats1, ev1 := run(1)
+	res3, stats3, ev3 := run(3)
+
+	for i := range res1 {
+		if res1[i].Err != nil || res3[i].Err != nil {
+			t.Fatalf("value %d failed over warm TCP: %v / %v", i, res1[i].Err, res3[i].Err)
+		}
+		if res1[i].Decided != res3[i].Decided || res1[i].Committed != res3[i].Committed {
+			t.Fatalf("value %d diverged: 1-shard (%v,%v) vs 3-shard (%v,%v)",
+				i, res1[i].Decided, res1[i].Committed, res3[i].Decided, res3[i].Committed)
+		}
+	}
+	if stats1.MessagesCorrect != stats3.MessagesCorrect ||
+		stats1.SignaturesCorrect != stats3.SignaturesCorrect ||
+		stats1.ValuesDecided != stats3.ValuesDecided {
+		t.Fatalf("metrics diverged over warm TCP:\n1 shard: %s\n3 shards: %s", stats1, stats3)
+	}
+
+	var buf1, buf3 bytes.Buffer
+	if err := trace.WriteJSONL(&buf1, deterministicEvents(ev1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSONL(&buf3, deterministicEvents(ev3)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf3.Bytes()) {
+		t.Fatalf("warm-TCP instance trace not byte-identical across shard counts (%d vs %d bytes)",
+			buf1.Len(), buf3.Len())
+	}
+}

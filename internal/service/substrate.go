@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"sync"
 
 	"byzex/internal/core"
 	"byzex/internal/ident"
@@ -38,7 +39,7 @@ func RunSim(ctx context.Context, cfg core.Config) (Outcome, error) {
 
 // RunTCP returns a RunFunc executing each instance over a localhost TCP
 // mesh (transport.RunCluster) with the given network knobs. Every instance
-// gets a fresh mesh; this is the high-fidelity, high-cost substrate.
+// gets a fresh mesh; WarmTCP amortizes the mesh across a shard's instances.
 func RunTCP(netCfg transport.Net) RunFunc {
 	return func(ctx context.Context, cfg core.Config) (Outcome, error) {
 		res, err := transport.RunCluster(ctx, cfg, netCfg)
@@ -46,5 +47,88 @@ func RunTCP(netCfg transport.Net) RunFunc {
 			return Outcome{}, err
 		}
 		return Outcome{Decisions: res.Decisions, Report: res.Report, Faulty: res.Faulty}, nil
+	}
+}
+
+// WarmTCP is a per-shard pool of warm transport meshes: each shard dials its
+// n×(n-1) localhost mesh once (lazily, on its first instance) and reuses it
+// for every subsequent instance, paying only the per-epoch frame traffic.
+// Wire it into a service with NewShardRun/CloseShard:
+//
+//	pool := service.NewWarmTCP(n, netCfg)
+//	cfg.NewShardRun = pool.NewShardRun
+//	cfg.CloseShardRun = pool.CloseShard
+//
+// A mesh is built for one cluster size; instances with a different N fall
+// back to a cold per-instance mesh rather than failing.
+type WarmTCP struct {
+	n      int
+	netCfg transport.Net
+
+	mu     sync.Mutex
+	meshes map[int]*transport.Mesh
+}
+
+// NewWarmTCP returns a pool of warm meshes for clusters of n processors.
+func NewWarmTCP(n int, netCfg transport.Net) *WarmTCP {
+	return &WarmTCP{n: n, netCfg: netCfg, meshes: make(map[int]*transport.Mesh)}
+}
+
+// NewShardRun returns the RunFunc for one shard. The shard's mesh is dialed
+// on its first instance and owned exclusively by that shard, so Run never
+// contends on a mesh (the service guarantees one instance per shard at a
+// time).
+func (p *WarmTCP) NewShardRun(shard int) RunFunc {
+	return func(ctx context.Context, cfg core.Config) (Outcome, error) {
+		if cfg.N != p.n {
+			return RunTCP(p.netCfg)(ctx, cfg)
+		}
+		m, err := p.mesh(ctx, shard)
+		if err != nil {
+			return Outcome{}, err
+		}
+		res, err := m.Run(ctx, cfg)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Decisions: res.Decisions, Report: res.Report, Faulty: res.Faulty}, nil
+	}
+}
+
+func (p *WarmTCP) mesh(ctx context.Context, shard int) (*transport.Mesh, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m, ok := p.meshes[shard]; ok {
+		return m, nil
+	}
+	m, err := transport.NewMesh(ctx, p.n, p.netCfg)
+	if err != nil {
+		return nil, err
+	}
+	p.meshes[shard] = m
+	return m, nil
+}
+
+// CloseShard tears down one shard's mesh; the service calls it from Close
+// once the shard is idle. A shard that never ran an instance has no mesh.
+func (p *WarmTCP) CloseShard(shard int) {
+	p.mu.Lock()
+	m := p.meshes[shard]
+	delete(p.meshes, shard)
+	p.mu.Unlock()
+	if m != nil {
+		m.Close()
+	}
+}
+
+// Close tears down every remaining mesh, for callers that bypass the
+// service's CloseShardRun hook.
+func (p *WarmTCP) Close() {
+	p.mu.Lock()
+	meshes := p.meshes
+	p.meshes = make(map[int]*transport.Mesh)
+	p.mu.Unlock()
+	for _, m := range meshes {
+		m.Close()
 	}
 }

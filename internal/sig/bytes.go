@@ -36,9 +36,11 @@ func (sb SignedBytes) Encode(w *wire.Writer) {
 }
 
 // DecodeSignedBytes reads a SignedBytes previously written with Encode. The
-// body is copied out of the reader's buffer.
+// body aliases the reader's buffer under the same lifetime contract as
+// DecodeChain: transports keep payload bytes alive for as long as the
+// decoding node can reference them.
 func DecodeSignedBytes(r *wire.Reader) SignedBytes {
-	body := append([]byte(nil), r.BytesField()...)
+	body := r.BytesField()
 	c := DecodeChain(r)
 	return SignedBytes{Body: body, Chain: c}
 }

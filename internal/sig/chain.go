@@ -133,7 +133,11 @@ func (c Chain) Encode(w *wire.Writer) {
 	}
 }
 
-// DecodeChain reads a chain previously written with Encode.
+// DecodeChain reads a chain previously written with Encode. Sig slices alias
+// the reader's buffer rather than copying: every transport honours the
+// sim.Node lifetime contract — the in-memory engine never recycles payload
+// bytes, and the TCP mesh retires delivered frame buffers until the epoch's
+// nodes are unreachable — so the alias outlives every use of the chain.
 func DecodeChain(r *wire.Reader) Chain {
 	n := r.Len()
 	if r.Err() != nil {
@@ -146,8 +150,7 @@ func DecodeChain(r *wire.Reader) Chain {
 		if r.Err() != nil {
 			return nil
 		}
-		// Copy: the reader's buffer may be reused by the transport.
-		out = append(out, Link{Signer: signer, Sig: append([]byte(nil), sigBytes...)})
+		out = append(out, Link{Signer: signer, Sig: sigBytes})
 	}
 	return out
 }

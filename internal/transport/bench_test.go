@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"byzex/internal/ident"
+	"byzex/internal/sim"
+	"byzex/internal/wire"
+)
+
+// BenchmarkMeshWarmVsCold is the headline number for the warm-mesh tentpole:
+// one agreement instance per iteration, either over a fresh mesh torn down
+// every time (cold, the old RunCluster behaviour) or over a single warm mesh
+// reused across iterations. The gap is the dial/teardown tax the warm path
+// removes.
+func BenchmarkMeshWarmVsCold(b *testing.B) {
+	ctx := context.Background()
+	netCfg := Net{PhaseTimeout: 10 * time.Second}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := meshConfig(ident.V1, int64(i))
+			if _, err := RunCluster(ctx, cfg, netCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		m, err := NewMesh(ctx, 3, netCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := meshConfig(ident.V1, int64(i))
+			if _, err := m.Run(ctx, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// loopbackPair returns two ends of a real TCP connection. The benchmarks use
+// TCP rather than net.Pipe so the kernel's socket buffer absorbs the write:
+// net.Pipe is unbuffered and would serialize writer and reader.
+func loopbackPair(tb testing.TB) (net.Conn, net.Conn) {
+	tb.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	ch := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(ch)
+			return
+		}
+		ch <- c
+	}()
+	a, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bConn, ok := <-ch
+	if !ok {
+		tb.Fatal("accept failed")
+	}
+	return a, bConn
+}
+
+func benchEnvelopes() []sim.Envelope {
+	return []sim.Envelope{
+		{From: 1, To: 0, Phase: 4, Payload: []byte("value:1|sig-chain-material"), Signers: []ident.ProcID{1, 2, 3}, SigTotal: 3},
+		{From: 1, To: 0, Phase: 4, Payload: []byte("value:0|second-message"), Signers: []ident.ProcID{1, 5}, SigTotal: 2},
+	}
+}
+
+// BenchmarkFramePath measures the zero-alloc frame path end to end on a real
+// TCP loopback socket: one encode+write and one read+decode per iteration,
+// with the reader in its steady state (empty frames keep the in-hand buffer;
+// delivered frames retire and are recycled here as a mesh does per epoch).
+func BenchmarkFramePath(b *testing.B) {
+	bench := func(b *testing.B, msgs []sim.Envelope) {
+		a, c := loopbackPair(b)
+		defer func() { _ = a.Close() }()
+		defer func() { _ = c.Close() }()
+		w := wire.NewWriter(256)
+		fr := &frameReader{to: 0}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := writeFrame(a, w, 0, 1, 4, 1, msgs); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fr.readFrame(c); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, decoded, err := fr.decode(); err != nil {
+				b.Fatal(err)
+			} else if len(decoded) != len(msgs) {
+				b.Fatalf("decoded %d messages, want %d", len(decoded), len(msgs))
+			}
+			if len(msgs) > 0 {
+				fr.retire()
+				fr.recycleSpent()
+			}
+		}
+	}
+	b.Run("empty", func(b *testing.B) { bench(b, nil) })
+	b.Run("signed", func(b *testing.B) { bench(b, benchEnvelopes()) })
+}
+
+// TestFramePathAllocsBudget is the regression guard behind BENCH_005: the
+// steady-state frame path must stay within a small constant number of
+// allocations per frame. The budget is 2 (not 0) to absorb the occasional
+// pool refill or arena chunk rotation without flaking.
+func TestFramePathAllocsBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is noisy under -short race wrappers")
+	}
+	a, c := loopbackPair(t)
+	defer func() { _ = a.Close() }()
+	defer func() { _ = c.Close() }()
+	w := wire.NewWriter(256)
+	fr := &frameReader{to: 0}
+	msgs := benchEnvelopes()
+	roundTrip := func() {
+		if err := writeFrame(a, w, 0, 1, 4, 1, msgs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fr.readFrame(c); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := fr.decode(); err != nil {
+			t.Fatal(err)
+		}
+		fr.retire()
+		fr.recycleSpent()
+	}
+	// Warm the writer, the reader scratch and the pools out of the measurement.
+	for i := 0; i < 100; i++ {
+		roundTrip()
+	}
+	const budget = 2.0
+	if avg := testing.AllocsPerRun(200, roundTrip); avg > budget {
+		t.Fatalf("frame path allocates %.2f/op, budget %.0f", avg, budget)
+	}
+}

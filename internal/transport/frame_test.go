@@ -8,25 +8,40 @@ import (
 
 	"byzex/internal/ident"
 	"byzex/internal/sim"
+	"byzex/internal/wire"
 )
 
-// pipeConn runs writeFrame/readFrame across a real in-memory connection.
-func pipeRoundTrip(t *testing.T, phase int, from ident.ProcID, msgs []sim.Envelope) (int, ident.ProcID, []sim.Envelope) {
+// readOneFrame drives a frameReader through one header+decode cycle, the
+// way the mesh's serveConn does for a live-epoch frame.
+func readOneFrame(t *testing.T, fr *frameReader, conn net.Conn) (uint64, int, ident.ProcID, []sim.Envelope) {
+	t.Helper()
+	epoch, err := fr.readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase, from, msgs, err := fr.decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return epoch, phase, from, msgs
+}
+
+// pipeRoundTrip runs writeFrame/frameReader across a real in-memory
+// connection.
+func pipeRoundTrip(t *testing.T, epoch uint64, phase int, from ident.ProcID, msgs []sim.Envelope) (uint64, int, ident.ProcID, []sim.Envelope) {
 	t.Helper()
 	a, b := net.Pipe()
 	defer func() { _ = a.Close() }()
 	defer func() { _ = b.Close() }()
 
 	errCh := make(chan error, 1)
-	go func() { errCh <- writeFrame(a, 0, phase, from, msgs) }()
-	gotPhase, gotFrom, gotMsgs, err := readFrame(b, 9)
-	if err != nil {
-		t.Fatal(err)
-	}
+	go func() { errCh <- writeFrame(a, wire.NewWriter(64), 0, epoch, phase, from, msgs) }()
+	fr := &frameReader{to: 9}
+	gotEpoch, gotPhase, gotFrom, gotMsgs := readOneFrame(t, fr, b)
 	if err := <-errCh; err != nil {
 		t.Fatal(err)
 	}
-	return gotPhase, gotFrom, gotMsgs
+	return gotEpoch, gotPhase, gotFrom, gotMsgs
 }
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -34,9 +49,9 @@ func TestFrameRoundTrip(t *testing.T) {
 		{From: 3, To: 9, Phase: 7, Payload: []byte("alpha"), Signers: []ident.ProcID{1, 2}, SigTotal: 2},
 		{From: 3, To: 9, Phase: 7, Payload: nil, SigTotal: 0},
 	}
-	phase, from, got := pipeRoundTrip(t, 7, 3, msgs)
-	if phase != 7 || from != 3 {
-		t.Fatalf("header (%d,%v)", phase, from)
+	epoch, phase, from, got := pipeRoundTrip(t, 5, 7, 3, msgs)
+	if epoch != 5 || phase != 7 || from != 3 {
+		t.Fatalf("header (%d,%d,%v)", epoch, phase, from)
 	}
 	if len(got) != 2 {
 		t.Fatalf("%d messages", len(got))
@@ -44,16 +59,69 @@ func TestFrameRoundTrip(t *testing.T) {
 	if string(got[0].Payload) != "alpha" || got[0].SigTotal != 2 || len(got[0].Signers) != 2 {
 		t.Fatalf("message 0 mismatch: %+v", got[0])
 	}
+	if got[0].Signers[0] != 1 || got[0].Signers[1] != 2 {
+		t.Fatalf("signers mismatch: %v", got[0].Signers)
+	}
 	if got[0].To != 9 {
 		t.Fatal("recipient not rewritten to the reader's identity")
 	}
 }
 
 func TestFrameEmpty(t *testing.T) {
-	phase, from, got := pipeRoundTrip(t, 2, 5, nil)
-	if phase != 2 || from != 5 || len(got) != 0 {
-		t.Fatalf("empty frame round trip: %d %v %d", phase, from, len(got))
+	epoch, phase, from, got := pipeRoundTrip(t, 1, 2, 5, nil)
+	if epoch != 1 || phase != 2 || from != 5 || len(got) != 0 {
+		t.Fatalf("empty frame round trip: %d %d %v %d", epoch, phase, from, len(got))
 	}
+}
+
+// TestFrameReaderReuse pins the scratch-reuse contract: a reader decoding
+// many frames back to back must hand out envelopes that are valid until the
+// next read, with each retired body preserved while its payload is aliased.
+func TestFrameReaderReuse(t *testing.T) {
+	a, b := net.Pipe()
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+
+	const frames = 50
+	go func() {
+		w := wire.NewWriter(64)
+		for i := 0; i < frames; i++ {
+			msgs := []sim.Envelope{{
+				From: 1, To: 2, Phase: i,
+				Payload: []byte{byte(i), byte(i + 1)}, Signers: []ident.ProcID{ident.ProcID(i % 7)}, SigTotal: i,
+			}}
+			if err := writeFrame(a, w, 0, 3, i, 1, msgs); err != nil {
+				return
+			}
+		}
+	}()
+
+	fr := &frameReader{to: 2}
+	type kept struct {
+		payload []byte
+		signer  ident.ProcID
+	}
+	var retained []kept
+	for i := 0; i < frames; i++ {
+		epoch, phase, from, msgs := readOneFrame(t, fr, b)
+		if epoch != 3 || phase != i || from != 1 || len(msgs) != 1 {
+			t.Fatalf("frame %d header: epoch=%d phase=%d from=%v msgs=%d", i, epoch, phase, from, len(msgs))
+		}
+		// Retain the aliased slices, as a peer's inbound buffer does, and
+		// retire the body, as serveConn does for delivered frames.
+		retained = append(retained, kept{payload: msgs[0].Payload, signer: msgs[0].Signers[0]})
+		fr.retire()
+	}
+	for i, k := range retained {
+		if len(k.payload) != 2 || k.payload[0] != byte(i) || k.payload[1] != byte(i+1) {
+			t.Fatalf("frame %d payload corrupted after later reads: %v", i, k.payload)
+		}
+		if k.signer != ident.ProcID(i%7) {
+			t.Fatalf("frame %d signer corrupted: %v", i, k.signer)
+		}
+	}
+	// Recycling the spent bodies must be possible exactly once per retire.
+	fr.recycleSpent()
 }
 
 func TestFrameOversizeRejected(t *testing.T) {
@@ -64,7 +132,8 @@ func TestFrameOversizeRejected(t *testing.T) {
 		// Forge a header claiming a frame beyond the limit.
 		_, _ = a.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	}()
-	_, _, _, err := readFrame(b, 0)
+	fr := &frameReader{to: 0}
+	_, err := fr.readFrame(b)
 	if !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("oversize frame: got %v, want ErrFrameTooLarge", err)
 	}
@@ -81,7 +150,8 @@ func TestFrameAtLimitNotOversize(t *testing.T) {
 		_, _ = a.Write(hdr[:])
 		_ = a.Close()
 	}()
-	if _, _, _, err := readFrame(b, 0); errors.Is(err, ErrFrameTooLarge) {
+	fr := &frameReader{to: 0}
+	if _, err := fr.readFrame(b); errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("frame at the limit misclassified: %v", err)
 	}
 }
@@ -91,9 +161,13 @@ func TestFrameGarbageBodyRejected(t *testing.T) {
 	defer func() { _ = a.Close() }()
 	defer func() { _ = b.Close() }()
 	go func() {
-		_, _ = a.Write([]byte{0, 0, 0, 3, 0xFF, 0xFF, 0xFF})
+		_, _ = a.Write([]byte{0, 0, 0, 4, 0x01, 0xFF, 0xFF, 0xFF})
 	}()
-	if _, _, _, err := readFrame(b, 0); err == nil {
+	fr := &frameReader{to: 0}
+	if _, err := fr.readFrame(b); err != nil {
+		t.Fatalf("epoch tag of garbage frame unreadable: %v", err)
+	}
+	if _, _, _, err := fr.decode(); err == nil {
 		t.Fatal("garbage body accepted")
 	}
 }

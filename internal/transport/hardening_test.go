@@ -11,6 +11,7 @@ import (
 	"byzex/internal/faultnet"
 	"byzex/internal/ident"
 	"byzex/internal/sim"
+	"byzex/internal/wire"
 )
 
 // TestWriteFrameDeadline pins the write-deadline hardening: a receiver that
@@ -25,7 +26,7 @@ func TestWriteFrameDeadline(t *testing.T) {
 	// until the deadline fires.
 	msgs := []sim.Envelope{{From: 1, To: 2, Phase: 1, Payload: []byte("stuck")}}
 	start := time.Now()
-	err := writeFrame(a, 100*time.Millisecond, 1, 1, msgs)
+	err := writeFrame(a, wire.NewWriter(64), 100*time.Millisecond, 1, 1, 1, msgs)
 	if err == nil {
 		t.Fatal("write to a dead receiver succeeded")
 	}
@@ -47,27 +48,66 @@ func TestWriteFrameDeadlineReset(t *testing.T) {
 	defer func() { _ = b.Close() }()
 
 	go func() {
+		fr := &frameReader{to: 2}
 		for {
-			if _, _, _, err := readFrame(b, 2); err != nil {
+			if _, err := fr.readFrame(b); err != nil {
+				return
+			}
+			if _, _, _, err := fr.decode(); err != nil {
 				return
 			}
 		}
 	}()
-	if err := writeFrame(a, 50*time.Millisecond, 1, 1, nil); err != nil {
+	// The warm-mesh path reuses one writer per endpoint across every frame of
+	// every epoch, so both writes share it here.
+	w := wire.NewWriter(64)
+	if err := writeFrame(a, w, 50*time.Millisecond, 1, 1, 1, nil); err != nil {
 		t.Fatalf("first write: %v", err)
 	}
 	// Sleep past the first deadline, then write with no timeout; a leaked
 	// deadline would fail this write immediately.
 	time.Sleep(80 * time.Millisecond)
-	if err := writeFrame(a, 0, 2, 1, nil); err != nil {
+	if err := writeFrame(a, w, 0, 1, 2, 1, nil); err != nil {
 		t.Fatalf("second write hit a stale deadline: %v", err)
 	}
 }
 
-// testPeer builds a bare peer for buffer-logic tests; the listener, node and
-// recorder are never touched by noteFrame/waitPhase.
+// TestWriteFrameWriterReuse pins the zero-alloc writer contract across a warm
+// mesh's lifetime: a single endpoint writer must produce byte-identical frames
+// whether fresh or reused, including across epoch bumps.
+func TestWriteFrameWriterReuse(t *testing.T) {
+	capture := func(w *wire.Writer, epoch uint64, phase int, msgs []sim.Envelope) []byte {
+		a, b := net.Pipe()
+		defer func() { _ = a.Close() }()
+		defer func() { _ = b.Close() }()
+		got := make(chan []byte, 1)
+		go func() {
+			buf := make([]byte, maxFrame)
+			n, _ := b.Read(buf)
+			got <- buf[:n]
+		}()
+		if err := writeFrame(a, w, 0, epoch, phase, 1, msgs); err != nil {
+			t.Fatalf("writeFrame: %v", err)
+		}
+		return <-got
+	}
+
+	msgs := []sim.Envelope{{From: 1, To: 0, Phase: 3, Payload: []byte("payload"), Signers: []ident.ProcID{2}, SigTotal: 1}}
+	shared := wire.NewWriter(16)
+	first := append([]byte(nil), capture(shared, 4, 3, msgs)...)
+	// Interleave an unrelated frame (different epoch/phase) on the same writer.
+	_ = capture(shared, 5, 9, nil)
+	second := capture(shared, 4, 3, msgs)
+	fresh := capture(wire.NewWriter(16), 4, 3, msgs)
+	if string(first) != string(second) || string(first) != string(fresh) {
+		t.Fatalf("reused writer diverged:\n first %x\nsecond %x\n fresh %x", first, second, fresh)
+	}
+}
+
+// testPeer builds a bare peer for buffer-logic tests; the node and recorder
+// are never touched by noteFrame/waitPhase.
 func testPeer(cfg peerConfig) *peer {
-	return newPeer(cfg, nil, nil, nil, nil)
+	return newPeer(cfg, nil, nil, nil)
 }
 
 // TestNoteFrameLateDrop is the regression test for the map-resurrection leak:

@@ -1,0 +1,533 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/metrics"
+	"byzex/internal/sim"
+	"byzex/internal/trace"
+	"byzex/internal/wire"
+)
+
+// ErrMeshBusy rejects a Mesh.Run while a previous instance on the same mesh
+// has not finished: a mesh multiplexes epochs sequentially, never
+// concurrently (each service shard owns one mesh and runs one instance at a
+// time; a second concurrent caller indicates a wiring bug, not load).
+var ErrMeshBusy = errors.New("transport: mesh is already running an instance")
+
+// Mesh is a warm, long-lived localhost TCP mesh for n processors: the n
+// listeners and the n×(n-1) outbound connections are dialed once and reused
+// by every subsequent instance. Each Run is one epoch — frames carry an
+// epoch tag, so per-instance state (phase buffers, fault plans, trace
+// recorders) is reset by simply installing the next epoch's peer set;
+// stragglers from a finished epoch are recognized by their stale tag and
+// dropped without touching the new instance. A failed write mid-epoch falls
+// back to the ctx-aware backoff dialer (reconnect-on-failure), so a
+// restarted peer process rejoins without the mesh being rebuilt.
+//
+// A Mesh is safe for use from one goroutine at a time: Run rejects
+// concurrent instances with ErrMeshBusy, and Close must not race a Run.
+type Mesh struct {
+	n         int
+	netCfg    Net
+	listeners []net.Listener
+	addrs     []string
+	eps       []*endpoint
+
+	// state points at the current epoch's peer set. It is installed by Run
+	// before any of the epoch's senders start, so by the time a frame
+	// tagged with the new epoch can reach a reader, the reader's load here
+	// observes the new state; frames tagged with an older epoch are
+	// stragglers and are dropped.
+	state   atomic.Pointer[epochState]
+	epoch   uint64 // last epoch started; only Run mutates, guarded by running
+	running atomic.Bool
+
+	mu      sync.Mutex
+	inbound []net.Conn     // accepted connections, closed by Close
+	readers []*frameReader // every reader ever attached, drained each epoch
+	closed  bool
+
+	wg sync.WaitGroup // accept loops and per-connection readers
+}
+
+// epochState is the per-instance routing table: inbound frames tagged with
+// this epoch are delivered to these peers.
+type epochState struct {
+	epoch uint64
+	peers []*peer
+}
+
+// endpoint is the per-processor half of the mesh that outlives instances:
+// the outbound connection row, a reusable frame writer, and the redial
+// jitter rng. It is touched only by the processor's peer goroutine (one per
+// epoch, epochs are sequential) and by Close.
+type endpoint struct {
+	id    ident.ProcID
+	m     *Mesh
+	w     *wire.Writer
+	rng   *rand.Rand
+	conns []net.Conn // indexed by destination; nil at own index
+}
+
+// send writes one frame to `to`, redialing once on failure: a peer that
+// restarted keeps its listener address (the mesh owns the listeners), so a
+// broken outbound link is replaced in place without disturbing the rest of
+// the row.
+func (ep *endpoint) send(ctx context.Context, epoch uint64, phase int, to ident.ProcID, timeout time.Duration, msgs []sim.Envelope) error {
+	conn := ep.conns[to]
+	err := writeFrame(conn, ep.w, timeout, epoch, phase, ep.id, msgs)
+	if err == nil {
+		return nil
+	}
+	nc, derr := dialPeer(ctx, ep.m.addrs[to], ep.rng)
+	if derr != nil {
+		return err
+	}
+	_ = conn.Close()
+	ep.conns[to] = nc
+	return writeFrame(nc, ep.w, timeout, epoch, phase, ep.id, msgs)
+}
+
+// NewMesh builds the warm mesh: n listeners, the full outbound mesh dialed
+// concurrently with jittered backoff, and the accept-side frame readers.
+// The mesh holds no instance state until the first Run.
+func NewMesh(ctx context.Context, n int, netCfg Net) (*Mesh, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: mesh needs at least one processor, got %d", n)
+	}
+	if netCfg.PhaseTimeout <= 0 {
+		netCfg.PhaseTimeout = 5 * time.Second
+	}
+	m := &Mesh{
+		n:         n,
+		netCfg:    netCfg,
+		listeners: make([]net.Listener, n),
+		addrs:     make([]string, n),
+		eps:       make([]*endpoint, n),
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		m.listeners[i] = ln
+		m.addrs[i] = ln.Addr().String()
+		m.wg.Add(1)
+		go m.acceptLoop(ident.ProcID(i), ln)
+	}
+	for i := 0; i < n; i++ {
+		id := ident.ProcID(i)
+		m.eps[i] = &endpoint{
+			id: id, m: m, w: wire.NewWriter(256),
+			rng:   rand.New(rand.NewSource((int64(id) + 1) * 0x9e3779b9)),
+			conns: make([]net.Conn, n),
+		}
+	}
+	// Dial every row concurrently: mesh construction races each listener
+	// against every dialer, so the jittered backoff in dialPeer does the
+	// smoothing, exactly as the per-run dial used to.
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(ep *endpoint) {
+			defer wg.Done()
+			for j := range ep.conns {
+				if ident.ProcID(j) == ep.id {
+					continue
+				}
+				conn, err := dialPeer(ctx, m.addrs[j], ep.rng)
+				if err != nil {
+					errs[ep.id] = fmt.Errorf("dial %s: %w", m.addrs[j], err)
+					return
+				}
+				ep.conns[j] = conn
+			}
+		}(m.eps[i])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("transport: mesh: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// acceptLoop serves one processor's listener for the life of the mesh.
+func (m *Mesh) acceptLoop(to ident.ProcID, ln net.Listener) {
+	defer m.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		fr := &frameReader{to: to}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		m.inbound = append(m.inbound, conn)
+		m.readers = append(m.readers, fr)
+		m.wg.Add(1)
+		m.mu.Unlock()
+		go m.serveConn(conn, fr)
+	}
+}
+
+// serveConn pumps frames off one accepted connection into the current
+// epoch's peer. Frames tagged with a stale epoch are dropped before their
+// message section is decoded, so their buffer is reused immediately; frames
+// that delivered payload bytes have their buffer retired until the epoch's
+// nodes are gone (see frameReader).
+func (m *Mesh) serveConn(conn net.Conn, fr *frameReader) {
+	defer m.wg.Done()
+	defer func() { _ = conn.Close() }()
+	for {
+		epoch, err := fr.readFrame(conn)
+		if err != nil {
+			return
+		}
+		st := m.state.Load()
+		if st == nil || epoch != st.epoch {
+			continue // straggler from a finished epoch: drop, reuse the buffer
+		}
+		phase, from, msgs, err := fr.decode()
+		if err != nil {
+			return
+		}
+		st.peers[fr.to].noteFrame(phase, from, msgs)
+		if len(msgs) > 0 {
+			fr.retire()
+		}
+	}
+}
+
+// Run executes one instance (one epoch) over the warm mesh. Setup, tracing
+// and result extraction are identical to RunCluster — RunCluster is now a
+// single-epoch mesh — but listeners and connections survive for the next
+// Run instead of being torn down.
+func (m *Mesh) Run(ctx context.Context, cfg core.Config) (*Result, error) {
+	if cfg.N != m.n {
+		return nil, fmt.Errorf("transport: mesh built for n=%d, config has n=%d", m.n, cfg.N)
+	}
+	if !m.running.CompareAndSwap(false, true) {
+		return nil, ErrMeshBusy
+	}
+	defer m.running.Store(false)
+
+	// Recycle the previous epoch's frame buffers. This is the earliest safe
+	// point: envelope payloads and signer lists alias those buffers, and the
+	// last epoch's nodes (which may retain payload slices per the sim.Node
+	// contract) became unreachable when its Run returned.
+	m.recycle()
+
+	setup, err := core.NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sink := cfg.ResolveTrace(ctx)
+	core.EmitCorruptions(sink, setup.Faulty)
+
+	collector := metrics.NewCollector(setup.Faulty)
+	var collectorMu sync.Mutex
+	onSend := func(phase int, from ident.ProcID, sigTotal, signers, bytes int) {
+		collectorMu.Lock()
+		defer collectorMu.Unlock()
+		collector.OnSend(phase, from, sigTotal, signers, bytes)
+	}
+
+	wallPhases := setup.Phases + 1
+	peers := make([]*peer, m.n)
+	for i, node := range setup.Nodes {
+		id := ident.ProcID(i)
+		var rec *phaseRecorder
+		if sink != nil {
+			rec = newPhaseRecorder(wallPhases)
+		}
+		peers[i] = newPeer(peerConfig{
+			id: id, n: cfg.N, t: cfg.T, transmitter: cfg.Transmitter,
+			phases: setup.Phases, timeout: m.netCfg.PhaseTimeout,
+			linkDelay: m.netCfg.LinkDelay,
+			muted:     m.netCfg.Mute.Has(id), faulty: setup.Faulty,
+			faults: cfg.Faults,
+		}, node, rec, onSend)
+	}
+
+	// Install the epoch's routing state BEFORE launching any sender: every
+	// frame tagged with this epoch is written after this store, so a reader
+	// that received such a frame observes the new state when it loads.
+	m.epoch++
+	epoch := m.epoch
+	m.state.Store(&epochState{epoch: epoch, peers: peers})
+
+	var wg sync.WaitGroup
+	errs := make([]error, m.n)
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			errs[i] = p.run(ctx, m.eps[i], epoch)
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !setup.Faulty.Has(ident.ProcID(i)) {
+			return nil, fmt.Errorf("transport: processor %d: %w", i, err)
+		}
+	}
+
+	// Merge the per-peer trace streams deterministically.
+	if sink != nil {
+		for ph := 1; ph <= wallPhases; ph++ {
+			sink.Emit(trace.Event{Kind: trace.KindPhaseStart, Phase: ph, From: ident.None, To: ident.None})
+			for _, p := range peers {
+				for _, e := range p.rec.buckets[ph] {
+					sink.Emit(e)
+				}
+			}
+			sink.Emit(trace.Event{Kind: trace.KindPhaseEnd, Phase: ph, From: ident.None, To: ident.None})
+		}
+	}
+
+	res := &Result{
+		Decisions: make(map[ident.ProcID]sim.Decision, cfg.N),
+		Faulty:    setup.Faulty.Clone(),
+	}
+	collectorMu.Lock()
+	res.Report = collector.Report()
+	collectorMu.Unlock()
+	for i, p := range peers {
+		v, ok := p.node.Decide()
+		if sink != nil {
+			sink.Emit(trace.Event{
+				Kind: trace.KindDecide, Phase: wallPhases,
+				From: ident.ProcID(i), To: ident.None, Value: v, Flag: ok,
+			})
+		}
+		res.Decisions[ident.ProcID(i)] = sim.Decision{Value: v, Decided: ok}
+	}
+	return res, nil
+}
+
+// recycle drains every reader's spent frame buffers back to the shared
+// pools. Called at the start of a Run, when all references into those
+// buffers (node-retained payloads, dead peers' inboxes) are unreachable.
+func (m *Mesh) recycle() {
+	m.mu.Lock()
+	readers := m.readers
+	m.mu.Unlock()
+	for _, fr := range readers {
+		fr.recycleSpent()
+	}
+}
+
+// Close tears the mesh down: listeners, outbound and inbound connections.
+// It must not race a Run; stragglers in per-connection readers exit on
+// their connection's close. Idempotent.
+func (m *Mesh) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	inbound := m.inbound
+	m.mu.Unlock()
+	for _, ln := range m.listeners {
+		if ln != nil {
+			_ = ln.Close()
+		}
+	}
+	for _, ep := range m.eps {
+		if ep == nil {
+			continue
+		}
+		for _, c := range ep.conns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+	m.wg.Wait()
+}
+
+// Frame-buffer pools, shared by every mesh in the process. Buffers are
+// pooled as pointers so Get/Put stay allocation-free on the steady state.
+var (
+	bodyPool = sync.Pool{New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	}}
+	procPool = sync.Pool{New: func() any {
+		p := make([]ident.ProcID, 0, arenaChunk)
+		return &p
+	}}
+)
+
+const (
+	// arenaChunk is the signer-arena chunk size (ProcIDs per chunk).
+	arenaChunk = 1024
+	// arenaMin retires a chunk once its free space drops below this many
+	// entries, bounding the per-message spill probability.
+	arenaMin = 64
+)
+
+// frameReader decodes inbound frames with reusable state: a pooled body
+// buffer, a reusable wire.Reader, an envelope scratch (safe to reuse per
+// frame because noteFrame copies envelope structs out), and a signer arena
+// that ProcsInto appends into. Payload and signer slices alias the body and
+// arena, so buffers that delivered content are retired to a spent list and
+// recycled only between mesh epochs, when nothing can reference them; the
+// sim.Node contract ("envelope payloads are never recycled") holds because
+// a node never outlives its epoch.
+type frameReader struct {
+	to   ident.ProcID
+	hdr  [4]byte
+	body *[]byte // in-hand pooled buffer; nil after retire
+	rd   wire.Reader
+	envs []sim.Envelope
+
+	arena    []ident.ProcID  // len = used, cap = chunk size
+	arenaPtr *[]ident.ProcID // pool token for the current chunk
+
+	mu          sync.Mutex // guards the spent lists against epoch recycling
+	spentBodies []*[]byte
+	spentArenas []*[]ident.ProcID
+}
+
+// readFrame reads one length-prefixed frame into the reader's buffer and
+// decodes the epoch tag, leaving the message section for decode — callers
+// drop stale-epoch frames without paying for their decode.
+func (fr *frameReader) readFrame(conn net.Conn) (uint64, error) {
+	if _, err := io.ReadFull(conn, fr.hdr[:]); err != nil {
+		return 0, err
+	}
+	n := binary.BigEndian.Uint32(fr.hdr[:])
+	if n > maxFrame {
+		return 0, fmt.Errorf("%w: %d bytes > %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	if fr.body == nil {
+		fr.body = bodyPool.Get().(*[]byte)
+	}
+	buf := *fr.body
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	*fr.body = buf
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return 0, err
+	}
+	fr.rd.Reset(buf)
+	epoch := fr.rd.Uint()
+	return epoch, fr.rd.Err()
+}
+
+// decode parses the message section of the frame last read. The returned
+// envelopes live in the reader's scratch: they are valid until the next
+// readFrame, long enough for noteFrame to copy them out.
+func (fr *frameReader) decode() (int, ident.ProcID, []sim.Envelope, error) {
+	r := &fr.rd
+	phase := int(r.Uint())
+	from := r.Proc()
+	cnt := r.Len()
+	if err := r.Err(); err != nil {
+		return 0, 0, nil, err
+	}
+	envs := fr.envs[:0]
+	for i := 0; i < cnt; i++ {
+		payload := r.BytesField()
+		signers := fr.procs(r)
+		sigTotal := int(r.Uint())
+		if err := r.Err(); err != nil {
+			return 0, 0, nil, err
+		}
+		envs = append(envs, sim.Envelope{
+			From: from, To: fr.to, Phase: phase,
+			Payload: payload, Signers: signers, SigTotal: sigTotal,
+		})
+	}
+	if err := r.Finish(); err != nil {
+		return 0, 0, nil, err
+	}
+	fr.envs = envs
+	return phase, from, envs, nil
+}
+
+// procs reads a signer list into the arena: ProcsInto appends into a
+// zero-length sub-slice of the chunk's free space, so a list that fits
+// costs no allocation; a list that spills lands on its own heap array and
+// needs no tracking (the GC reclaims it with the epoch's nodes).
+func (fr *frameReader) procs(r *wire.Reader) []ident.ProcID {
+	if fr.arenaPtr == nil || cap(fr.arena)-len(fr.arena) < arenaMin {
+		fr.retireArena()
+	}
+	free := fr.arena[len(fr.arena):]
+	out := r.ProcsInto(free)
+	if n := len(out); n <= cap(free) {
+		fr.arena = fr.arena[: len(fr.arena)+n : cap(fr.arena)]
+	}
+	return out
+}
+
+// retire moves the in-hand body to the spent list: its bytes are aliased by
+// delivered envelopes and must survive until the epoch tears down.
+func (fr *frameReader) retire() {
+	fr.mu.Lock()
+	fr.spentBodies = append(fr.spentBodies, fr.body)
+	fr.mu.Unlock()
+	fr.body = nil
+}
+
+// retireArena swaps in a fresh signer chunk, keeping the exhausted one
+// alive on the spent list for the rest of the epoch.
+func (fr *frameReader) retireArena() {
+	if fr.arenaPtr != nil {
+		*fr.arenaPtr = fr.arena
+		fr.mu.Lock()
+		fr.spentArenas = append(fr.spentArenas, fr.arenaPtr)
+		fr.mu.Unlock()
+	}
+	fr.arenaPtr = procPool.Get().(*[]ident.ProcID)
+	fr.arena = (*fr.arenaPtr)[:0]
+}
+
+// recycleSpent returns the spent buffers to the pools. Runs between epochs
+// (or on an idle mesh), when no live envelope aliases them; a straggler
+// frame decoded concurrently only ever touches the reader's in-hand
+// buffers, which are not on the spent lists.
+func (fr *frameReader) recycleSpent() {
+	fr.mu.Lock()
+	for i, b := range fr.spentBodies {
+		bodyPool.Put(b)
+		fr.spentBodies[i] = nil
+	}
+	fr.spentBodies = fr.spentBodies[:0]
+	for i, a := range fr.spentArenas {
+		procPool.Put(a)
+		fr.spentArenas[i] = nil
+	}
+	fr.spentArenas = fr.spentArenas[:0]
+	fr.mu.Unlock()
+}

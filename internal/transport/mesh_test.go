@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/protocols/alg1"
+	"byzex/internal/sim"
+	"byzex/internal/wire"
+)
+
+func meshConfig(value ident.Value, seed int64) core.Config {
+	return core.Config{Protocol: alg1.Protocol{}, N: 3, T: 1, Value: value, Seed: seed}
+}
+
+func meshAgreement(t *testing.T, res *Result, want ident.Value) {
+	t.Helper()
+	for id, d := range res.Decisions {
+		if res.Faulty.Has(id) {
+			continue
+		}
+		if !d.Decided || d.Value != want {
+			t.Fatalf("%v decided (%v,%v), want %v", id, d.Value, d.Decided, want)
+		}
+	}
+}
+
+// TestMeshMultiEpoch pins the tentpole contract: one warm mesh serves many
+// instances back to back, with per-instance state fully reset between epochs
+// (different values and seeds must not bleed into each other).
+func TestMeshMultiEpoch(t *testing.T) {
+	ctx := context.Background()
+	m, err := NewMesh(ctx, 3, Net{PhaseTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	values := []ident.Value{ident.V1, ident.V0, ident.V1, ident.V0, ident.V1}
+	for i, v := range values {
+		res, err := m.Run(ctx, meshConfig(v, int64(100+i)))
+		if err != nil {
+			t.Fatalf("epoch %d: %v", i+1, err)
+		}
+		meshAgreement(t, res, v)
+		if res.Report.MessagesCorrect == 0 {
+			t.Fatalf("epoch %d counted no messages", i+1)
+		}
+	}
+	if m.epoch != uint64(len(values)) {
+		t.Fatalf("mesh at epoch %d after %d runs", m.epoch, len(values))
+	}
+}
+
+// TestMeshReconnectKeepsLiveLinks kills one outbound connection between
+// epochs. The next instance must succeed by redialing exactly that link; the
+// rest of the warm mesh must be the same sockets as before — reconnection is
+// surgical, not a rebuild.
+func TestMeshReconnectKeepsLiveLinks(t *testing.T) {
+	ctx := context.Background()
+	m, err := NewMesh(ctx, 3, Net{PhaseTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if _, err := m.Run(ctx, meshConfig(ident.V1, 7)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever 1 -> 2 behind the mesh's back, as a crashed-and-restarted peer
+	// process would, and snapshot every other socket.
+	broken := m.eps[1].conns[2]
+	before := make(map[[2]int]net.Conn)
+	for i, ep := range m.eps {
+		for j, c := range ep.conns {
+			if c != nil {
+				before[[2]int{i, j}] = c
+			}
+		}
+	}
+	_ = broken.Close()
+
+	res, err := m.Run(ctx, meshConfig(ident.V0, 8))
+	if err != nil {
+		t.Fatalf("epoch after severed link: %v", err)
+	}
+	meshAgreement(t, res, ident.V0)
+
+	if m.eps[1].conns[2] == broken {
+		t.Fatal("severed link was not redialed")
+	}
+	for key, old := range before {
+		if key == [2]int{1, 2} {
+			continue
+		}
+		if m.eps[key[0]].conns[key[1]] != old {
+			t.Fatalf("live link %v was replaced during reconnect", key)
+		}
+	}
+}
+
+// TestMeshStaleEpochDropped injects frames tagged with a bogus epoch straight
+// into a listener. They must be dropped before the message section is ever
+// delivered: the next instance still agrees, untouched by the garbage.
+func TestMeshStaleEpochDropped(t *testing.T) {
+	ctx := context.Background()
+	m, err := NewMesh(ctx, 3, Net{PhaseTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	conn, err := net.Dial("tcp", m.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	w := wire.NewWriter(64)
+	poison := []sim.Envelope{{From: 2, To: 0, Phase: 1, Payload: []byte("stale"), SigTotal: 99}}
+	for phase := 1; phase <= 3; phase++ {
+		if err := writeFrame(conn, w, time.Second, 999, phase, 2, poison); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := m.Run(ctx, meshConfig(ident.V1, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshAgreement(t, res, ident.V1)
+}
+
+// TestMeshBusy rejects a second concurrent instance instead of interleaving
+// two epochs on the same sockets.
+func TestMeshBusy(t *testing.T) {
+	ctx := context.Background()
+	m, err := NewMesh(ctx, 3, Net{PhaseTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	m.running.Store(true)
+	if _, err := m.Run(ctx, meshConfig(ident.V1, 1)); !errors.Is(err, ErrMeshBusy) {
+		t.Fatalf("got %v, want ErrMeshBusy", err)
+	}
+	m.running.Store(false)
+	if _, err := m.Run(ctx, meshConfig(ident.V1, 1)); err != nil {
+		t.Fatalf("mesh unusable after busy rejection: %v", err)
+	}
+}
+
+// TestMeshSizeMismatch rejects configs that do not match the warm topology.
+func TestMeshSizeMismatch(t *testing.T) {
+	ctx := context.Background()
+	m, err := NewMesh(ctx, 3, Net{PhaseTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	cfg := core.Config{Protocol: alg1.Protocol{}, N: 7, T: 3, Value: ident.V1}
+	if _, err := m.Run(ctx, cfg); err == nil {
+		t.Fatal("mesh for n=3 accepted a config with n=7")
+	}
+}
+
+// TestMeshCloseIdempotent double-closes, including after traffic flowed.
+func TestMeshCloseIdempotent(t *testing.T) {
+	ctx := context.Background()
+	m, err := NewMesh(ctx, 3, Net{PhaseTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(ctx, meshConfig(ident.V1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m.Close()
+}

@@ -31,7 +31,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -85,6 +84,14 @@ type Net struct {
 	// correct processor cannot be muted without violating the synchrony
 	// assumption the protocols rely on.
 	Mute ident.Set
+
+	// LinkDelay models one-way network latency: each processor holds its
+	// phase flush for this long before writing, so an instance's wall
+	// clock is ≈ phases × LinkDelay while its CPU sits idle — the regime a
+	// real deployment is in, where loopback is unrealistically fast. The
+	// delay is applied once per phase (links are traversed in parallel),
+	// never affects determinism, and zero disables it.
+	LinkDelay time.Duration
 }
 
 // Config describes a TCP cluster run with a transport-private options
@@ -165,6 +172,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 // defaulting, corruption, node construction) is shared with core.Run via
 // core.NewSetup.
 //
+// RunCluster is a single-epoch mesh: it dials a fresh Mesh, runs one
+// instance and tears the sockets down again. Callers running many
+// instances should hold a Mesh and call Run per instance — the warm path
+// the serving layer uses (see service.NewWarmTCP).
+//
 // Tracing: the sink is resolved exactly as in core.Run (cfg.Trace, else the
 // context's). Each peer records its events privately, bucketed by wall
 // phase; after the run the per-peer streams are merged in (wall phase, peer
@@ -174,109 +186,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 // recorded here: peers share one verifier, so the hit/miss split depends on
 // goroutine interleaving.
 func RunCluster(ctx context.Context, cfg core.Config, netCfg Net) (*Result, error) {
-	setup, err := core.NewSetup(cfg)
+	m, err := NewMesh(ctx, cfg.N, netCfg)
 	if err != nil {
 		return nil, err
 	}
-	if netCfg.PhaseTimeout <= 0 {
-		netCfg.PhaseTimeout = 5 * time.Second
-	}
-	sink := cfg.ResolveTrace(ctx)
-	core.EmitCorruptions(sink, setup.Faulty)
-
-	collector := metrics.NewCollector(setup.Faulty)
-	var collectorMu sync.Mutex
-	onSend := func(phase int, from ident.ProcID, sigTotal, signers, bytes int) {
-		collectorMu.Lock()
-		defer collectorMu.Unlock()
-		collector.OnSend(phase, from, sigTotal, signers, bytes)
-	}
-
-	// Build listeners around the prepared nodes.
-	wallPhases := setup.Phases + 1
-	peers := make([]*peer, cfg.N)
-	for i, node := range setup.Nodes {
-		id := ident.ProcID(i)
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return nil, fmt.Errorf("transport: listen: %w", err)
-		}
-		var rec *phaseRecorder
-		if sink != nil {
-			rec = newPhaseRecorder(wallPhases)
-		}
-		peers[i] = newPeer(peerConfig{
-			id: id, n: cfg.N, t: cfg.T, transmitter: cfg.Transmitter,
-			phases: setup.Phases, timeout: netCfg.PhaseTimeout,
-			muted: netCfg.Mute.Has(id), faulty: setup.Faulty,
-			faults: cfg.Faults, seed: cfg.Seed,
-		}, node, ln, rec, onSend)
-	}
-	addrs := make([]string, cfg.N)
-	for i, p := range peers {
-		addrs[i] = p.ln.Addr().String()
-	}
-
-	// Run all peers. Sockets are torn down here, after every goroutine has
-	// joined — not by the peers themselves: a peer that exits early (a
-	// plan-crashed processor halts at phase 2, often before slower peers
-	// have finished dialing the mesh) must not close its listener while
-	// others still need to connect to it.
-	var wg sync.WaitGroup
-	errs := make([]error, cfg.N)
-	for i, p := range peers {
-		wg.Add(1)
-		go func(i int, p *peer) {
-			defer wg.Done()
-			errs[i] = p.run(ctx, addrs)
-		}(i, p)
-	}
-	wg.Wait()
-	for _, p := range peers {
-		_ = p.ln.Close()
-		for _, c := range p.conns {
-			if c != nil {
-				_ = c.Close()
-			}
-		}
-	}
-	for i, err := range errs {
-		if err != nil && !setup.Faulty.Has(ident.ProcID(i)) {
-			return nil, fmt.Errorf("transport: processor %d: %w", i, err)
-		}
-	}
-
-	// Merge the per-peer trace streams deterministically.
-	if sink != nil {
-		for ph := 1; ph <= wallPhases; ph++ {
-			sink.Emit(trace.Event{Kind: trace.KindPhaseStart, Phase: ph, From: ident.None, To: ident.None})
-			for _, p := range peers {
-				for _, e := range p.rec.buckets[ph] {
-					sink.Emit(e)
-				}
-			}
-			sink.Emit(trace.Event{Kind: trace.KindPhaseEnd, Phase: ph, From: ident.None, To: ident.None})
-		}
-	}
-
-	res := &Result{
-		Decisions: make(map[ident.ProcID]sim.Decision, cfg.N),
-		Faulty:    setup.Faulty.Clone(),
-	}
-	collectorMu.Lock()
-	res.Report = collector.Report()
-	collectorMu.Unlock()
-	for i, p := range peers {
-		v, ok := p.node.Decide()
-		if sink != nil {
-			sink.Emit(trace.Event{
-				Kind: trace.KindDecide, Phase: wallPhases,
-				From: ident.ProcID(i), To: ident.None, Value: v, Flag: ok,
-			})
-		}
-		res.Decisions[ident.ProcID(i)] = sim.Decision{Value: v, Decided: ok}
-	}
-	return res, nil
+	defer m.Close()
+	return m.Run(ctx, cfg)
 }
 
 // phaseRecorder is a per-peer trace sink. Each peer goroutine owns exactly
@@ -304,18 +219,18 @@ type peerConfig struct {
 	transmitter ident.ProcID
 	phases      int
 	timeout     time.Duration
+	linkDelay   time.Duration
 	muted       bool
 	faulty      ident.Set
 	faults      *faultnet.Plan // nil injects nothing (all methods nil-safe)
-	seed        int64          // decorrelates the dial-backoff jitter per run
 }
 
-// peer is one processor's runtime: listener, outbound connections, inbound
-// frame buffers keyed by phase.
+// peer is one processor's per-epoch runtime: the node state machine and the
+// inbound frame buffers keyed by phase. Sockets belong to the Mesh (they
+// outlive the epoch); frames reach the peer through the mesh's readers.
 type peer struct {
 	cfg     peerConfig
 	node    sim.Node
-	ln      net.Listener
 	rec     *phaseRecorder // nil when tracing is disabled
 	onSend  func(phase int, from ident.ProcID, sigTotal, signers, bytes int)
 	mu      sync.Mutex
@@ -324,13 +239,12 @@ type peer struct {
 	arrived map[int]ident.Set                       // phase -> senders heard from
 	delayed map[int][]sim.Envelope                  // phase -> plan-delayed msgs due then
 	done    int                                     // highest phase waitPhase has closed out
-	conns   []net.Conn                              // outbound mesh, closed by RunCluster
 }
 
-func newPeer(cfg peerConfig, node sim.Node, ln net.Listener, rec *phaseRecorder,
+func newPeer(cfg peerConfig, node sim.Node, rec *phaseRecorder,
 	onSend func(int, ident.ProcID, int, int, int)) *peer {
 	p := &peer{
-		cfg: cfg, node: node, ln: ln, rec: rec, onSend: onSend,
+		cfg: cfg, node: node, rec: rec, onSend: onSend,
 		inbound: make(map[int]map[ident.ProcID][]sim.Envelope),
 		arrived: make(map[int]ident.Set),
 		delayed: make(map[int][]sim.Envelope),
@@ -422,53 +336,14 @@ func (p *peer) waitPhase(phase int) ([]sim.Envelope, error) {
 	return inbox, nil
 }
 
-// acceptLoop serves inbound connections until the listener is closed by
-// RunCluster's teardown. Handlers outlive an early peer exit on purpose:
-// closing inbound links the moment a peer stalls or crashes would turn its
-// neighbors' in-flight writes into broken pipes and cascade one typed
-// failure into untyped ones. Frames arriving after the peer stopped
-// consuming are discarded by noteFrame's late-phase guard.
-func (p *peer) acceptLoop() {
-	for {
-		conn, err := p.ln.Accept()
-		if err != nil {
-			return
-		}
-		go func(c net.Conn) {
-			defer func() { _ = c.Close() }()
-			for {
-				phase, from, msgs, err := readFrame(c, p.cfg.id)
-				if err != nil {
-					return
-				}
-				p.noteFrame(phase, from, msgs)
-			}
-		}(conn)
-	}
-}
-
-func (p *peer) run(ctx context.Context, addrs []string) error {
-	go p.acceptLoop()
-
-	// Dial the mesh. The jitter rng is seeded per (run, peer) so concurrent
-	// peers back off out of phase with each other instead of thundering.
-	// The listener and the outbound conns are NOT closed when this peer
-	// returns — RunCluster tears them down once every peer has joined, so
-	// an early exit (crash-at-phase-k, stall) cannot refuse a slower peer's
-	// mesh dial or sever links other peers are still using.
-	rng := rand.New(rand.NewSource(p.cfg.seed ^ (int64(p.cfg.id)+1)*0x9e3779b9))
-	p.conns = make([]net.Conn, len(addrs))
-	conns := p.conns
-	for i, addr := range addrs {
-		if ident.ProcID(i) == p.cfg.id {
-			continue
-		}
-		var err error
-		if conns[i], err = dialPeer(ctx, addr, rng); err != nil {
-			return fmt.Errorf("dial %s: %w", addr, err)
-		}
-	}
-
+// run executes the peer's phase loop for one mesh epoch. The mesh's
+// inbound readers outlive an early peer exit on purpose: closing inbound
+// links the moment a peer stalls or crashes would turn its neighbors'
+// in-flight writes into broken pipes and cascade one typed failure into
+// untyped ones. Frames arriving after the peer stopped consuming are
+// discarded by noteFrame's late-phase guard (or by the mesh's epoch tag,
+// once the next instance starts).
+func (p *peer) run(ctx context.Context, ep *endpoint, epoch uint64) error {
 	for phase := 1; phase <= p.cfg.phases+1; phase++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -528,17 +403,26 @@ func (p *peer) run(ctx context.Context, addrs []string) error {
 
 		// Flush one frame (possibly empty) to every peer.
 		if phase <= p.cfg.phases && !p.cfg.muted {
-			for i, conn := range conns {
-				if conn == nil {
+			if p.cfg.linkDelay > 0 {
+				timer := time.NewTimer(p.cfg.linkDelay)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					return ctx.Err()
+				}
+			}
+			for i := 0; i < p.cfg.n; i++ {
+				to := ident.ProcID(i)
+				if to == p.cfg.id {
 					continue
 				}
-				if p.cfg.faults.Crashed(ident.ProcID(i), phase+1) {
-					// The receiver halts before it would consume this frame;
-					// its sockets may already be closed.
+				if p.cfg.faults.Crashed(to, phase+1) {
+					// The receiver halts before it would consume this frame.
 					continue
 				}
-				if err := writeFrame(conn, p.cfg.timeout, phase, p.cfg.id, outgoing[ident.ProcID(i)]); err != nil {
-					if p.cfg.faults.CrashPhase(ident.ProcID(i)) != 0 {
+				if err := ep.send(ctx, epoch, phase, to, p.cfg.timeout, outgoing[to]); err != nil {
+					if p.cfg.faults.CrashPhase(to) != 0 {
 						// Best-effort towards a peer that crashes later in
 						// the run: a torn-down socket is part of the scenario.
 						continue
@@ -635,15 +519,24 @@ func sortInbox(in []sim.Envelope) {
 	}
 }
 
-// Frame wire format: u32 length, then body: uvarint phase, sender, count,
-// then per message: payload bytes, signer list, sigTotal.
+// Frame wire format: u32 length, then body: uvarint epoch, phase, sender,
+// count, then per message: payload bytes, signer list, sigTotal. The epoch
+// tag is how a warm mesh resets between instances without reconnecting —
+// receivers drop frames whose tag is not the current epoch's.
 //
-// timeout bounds the whole frame write (both the header and the body): a
-// receiver that stopped reading while its kernel buffers are full would
-// otherwise block the sender's phase loop forever, turning one sick peer
-// into a cluster-wide hang. A timeout ≤ 0 leaves the connection unbounded.
-func writeFrame(conn net.Conn, timeout time.Duration, phase int, from ident.ProcID, msgs []sim.Envelope) error {
-	w := wire.NewWriter(64)
+// writeFrame encodes into the caller's reusable writer (header placeholder
+// patched in place, one Write call) so the steady-state path allocates
+// nothing; timeout bounds the whole frame write: a receiver that stopped
+// reading while its kernel buffers are full would otherwise block the
+// sender's phase loop forever, turning one sick peer into a cluster-wide
+// hang. A timeout ≤ 0 leaves the connection unbounded.
+func writeFrame(conn net.Conn, w *wire.Writer, timeout time.Duration, epoch uint64, phase int, from ident.ProcID, msgs []sim.Envelope) error {
+	w.Reset()
+	w.Byte(0)
+	w.Byte(0)
+	w.Byte(0)
+	w.Byte(0)
+	w.Uint(epoch)
 	w.Uint(uint64(phase))
 	w.Proc(from)
 	w.Uint(uint64(len(msgs)))
@@ -652,57 +545,14 @@ func writeFrame(conn net.Conn, timeout time.Duration, phase int, from ident.Proc
 		w.Procs(m.Signers)
 		w.Uint(uint64(m.SigTotal))
 	}
-	body := w.Bytes()
+	buf := w.Bytes()
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
 	if timeout > 0 {
 		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
 			return err
 		}
 		defer func() { _ = conn.SetWriteDeadline(time.Time{}) }()
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := conn.Write(body)
+	_, err := conn.Write(buf)
 	return err
-}
-
-func readFrame(conn net.Conn, to ident.ProcID) (int, ident.ProcID, []sim.Envelope, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return 0, 0, nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return 0, 0, nil, fmt.Errorf("%w: %d bytes > %d", ErrFrameTooLarge, n, maxFrame)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(conn, body); err != nil {
-		return 0, 0, nil, err
-	}
-	r := wire.NewReader(body)
-	phase := int(r.Uint())
-	from := r.Proc()
-	cnt := r.Len()
-	if r.Err() != nil {
-		return 0, 0, nil, r.Err()
-	}
-	msgs := make([]sim.Envelope, 0, cnt)
-	for i := 0; i < cnt; i++ {
-		payload := append([]byte(nil), r.BytesField()...)
-		signers := r.Procs()
-		sigTotal := int(r.Uint())
-		if r.Err() != nil {
-			return 0, 0, nil, r.Err()
-		}
-		msgs = append(msgs, sim.Envelope{
-			From: from, To: to, Phase: phase,
-			Payload: payload, Signers: signers, SigTotal: sigTotal,
-		})
-	}
-	if err := r.Finish(); err != nil {
-		return 0, 0, nil, err
-	}
-	return phase, from, msgs, nil
 }

@@ -23,8 +23,9 @@ func (c *envelopeCapture) OnSend(e sim.Envelope) { c.envs = append(c.envs, e) }
 
 // captureFrameBodies runs one alg1 instance (n=7, t=3) on the in-memory
 // engine and encodes the observed envelopes exactly the way the TCP
-// transport frames them: uvarint phase, sender, count, then per message a
-// length-prefixed payload, the signer list and the running signature total.
+// transport frames them: uvarint mesh epoch, phase, sender, count, then per
+// message a length-prefixed payload, the signer list and the running
+// signature total.
 func captureFrameBodies(tb testing.TB) [][]byte {
 	tb.Helper()
 	cfg := core.Config{Protocol: alg1.Protocol{}, N: 7, T: 3, Value: 1, Seed: 42}
@@ -50,6 +51,7 @@ func captureFrameBodies(tb testing.TB) [][]byte {
 
 	encode := func(phase int, from ident.ProcID, msgs []sim.Envelope) []byte {
 		w := wire.NewWriter(64)
+		w.Uint(1) // mesh epoch
 		w.Uint(uint64(phase))
 		w.Proc(from)
 		w.Uint(uint64(len(msgs)))
@@ -80,9 +82,12 @@ type fuzzMsg struct {
 	sigTotal uint64
 }
 
-// decodeBody mirrors the transport's frame-body decode sequence.
-func decodeBody(body []byte) (phase uint64, from ident.ProcID, msgs []fuzzMsg, err error) {
+// decodeBody mirrors the transport's frame-body decode sequence: the epoch
+// tag first (read before the transport decides whether the frame belongs to
+// the live mesh run), then the message section.
+func decodeBody(body []byte) (epoch, phase uint64, from ident.ProcID, msgs []fuzzMsg, err error) {
 	r := wire.NewReader(body)
+	epoch = r.Uint()
 	phase = r.Uint()
 	from = r.Proc()
 	cnt := r.Len()
@@ -93,7 +98,7 @@ func decodeBody(body []byte) (phase uint64, from ident.ProcID, msgs []fuzzMsg, e
 			sigTotal: r.Uint(),
 		})
 	}
-	return phase, from, msgs, r.Finish()
+	return epoch, phase, from, msgs, r.Finish()
 }
 
 // FuzzFrameBodyDecode feeds arbitrary bytes through the exact read sequence
@@ -112,7 +117,7 @@ func FuzzFrameBodyDecode(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // 10-byte uvarint
 
 	f.Fuzz(func(t *testing.T, body []byte) {
-		phase, from, msgs, err := decodeBody(body)
+		epoch, phase, from, msgs, err := decodeBody(body)
 		if err != nil {
 			// Sticky-error contract: after a failure every read is a no-op
 			// returning the zero value.
@@ -134,6 +139,7 @@ func FuzzFrameBodyDecode(f *testing.F) {
 		// Clean decode: re-encoding the decoded values must produce a body
 		// that decodes to the same values (canonical round trip).
 		w := wire.NewWriter(len(body))
+		w.Uint(epoch)
 		w.Uint(phase)
 		w.Proc(from)
 		w.Uint(uint64(len(msgs)))
@@ -142,13 +148,13 @@ func FuzzFrameBodyDecode(f *testing.F) {
 			w.Procs(m.signers)
 			w.Uint(m.sigTotal)
 		}
-		phase2, from2, msgs2, err := decodeBody(w.Bytes())
+		epoch2, phase2, from2, msgs2, err := decodeBody(w.Bytes())
 		if err != nil {
 			t.Fatalf("re-encoding of a clean decode fails to decode: %v", err)
 		}
-		if phase2 != phase || from2 != from || len(msgs2) != len(msgs) {
-			t.Fatalf("round trip header: (%d,%v,%d) != (%d,%v,%d)",
-				phase2, from2, len(msgs2), phase, from, len(msgs))
+		if epoch2 != epoch || phase2 != phase || from2 != from || len(msgs2) != len(msgs) {
+			t.Fatalf("round trip header: (%d,%d,%v,%d) != (%d,%d,%v,%d)",
+				epoch2, phase2, from2, len(msgs2), epoch, phase, from, len(msgs))
 		}
 		for i := range msgs {
 			if !bytes.Equal(msgs[i].payload, msgs2[i].payload) ||

@@ -51,6 +51,12 @@ func (w *Writer) Bytes() []byte { return w.buf }
 // Len returns the number of bytes written so far.
 func (w *Writer) Len() int { return len(w.buf) }
 
+// Reset empties the writer, keeping its buffer for reuse. Slices previously
+// returned by Bytes alias that buffer and are overwritten by later writes —
+// Reset is for hot paths that fully consume each encoding before the next
+// (the TCP transport's frame writer).
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // Uint appends an unsigned integer.
 func (w *Writer) Uint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
 
@@ -60,7 +66,7 @@ func (w *Writer) Int(v int64) { w.buf = binary.AppendUvarint(w.buf, zigzag(v)) }
 // Byte appends a single raw byte.
 func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
 
-// Bytes appends a length-prefixed byte string.
+// BytesField appends a length-prefixed byte string.
 func (w *Writer) BytesField(b []byte) {
 	w.Uint(uint64(len(b)))
 	w.buf = append(w.buf, b...)
@@ -97,6 +103,11 @@ type Reader struct {
 
 // NewReader wraps buf for decoding. The reader does not copy buf.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Reset rewinds the reader onto a new buffer, clearing any sticky error —
+// the zero-allocation alternative to NewReader for per-frame decoders that
+// keep a Reader value alive across frames.
+func (r *Reader) Reset(buf []byte) { r.buf, r.off, r.err = buf, 0, nil }
 
 // Err returns the first decoding error, or nil.
 func (r *Reader) Err() error { return r.err }
@@ -200,6 +211,26 @@ func (r *Reader) Procs() []ident.ProcID {
 	}
 	if r.err != nil {
 		return nil
+	}
+	return out
+}
+
+// ProcsInto reads a count-prefixed list of processor identities, appending
+// into dst and returning the extended slice — the allocation-free variant of
+// Procs for decode hot paths that own a reusable scratch (append only
+// allocates when dst's capacity is exceeded). On a decoding error the
+// reader's sticky error is set and dst is returned unchanged.
+func (r *Reader) ProcsInto(dst []ident.ProcID) []ident.ProcID {
+	n := r.Len()
+	if r.err != nil {
+		return dst
+	}
+	out := dst
+	for i := 0; i < n; i++ {
+		out = append(out, r.Proc())
+	}
+	if r.err != nil {
+		return dst
 	}
 	return out
 }

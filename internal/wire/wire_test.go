@@ -89,6 +89,91 @@ func TestRoundTripProcs(t *testing.T) {
 	}
 }
 
+func TestProcsInto(t *testing.T) {
+	cases := [][]ident.ProcID{nil, {}, {0}, {1, 2, 3}, ident.Range(500)}
+	scratch := make([]ident.ProcID, 0, 8)
+	for _, c := range cases {
+		w := wire.NewWriter(8)
+		w.Procs(c)
+		r := wire.NewReader(w.Bytes())
+		got := r.ProcsInto(scratch[:0])
+		if err := r.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(c) {
+			t.Fatalf("len %d != %d", len(got), len(c))
+		}
+		for i := range c {
+			if got[i] != c[i] {
+				t.Errorf("elem %d: %v != %v", i, got[i], c[i])
+			}
+		}
+	}
+}
+
+func TestProcsIntoAppends(t *testing.T) {
+	// ProcsInto must extend dst, not restart it: an arena allocator hands it
+	// a zero-length sub-slice of free space and relies on pure append
+	// semantics.
+	w := wire.NewWriter(8)
+	w.Procs([]ident.ProcID{7, 8})
+	dst := []ident.ProcID{1, 2, 3}
+	r := wire.NewReader(w.Bytes())
+	got := r.ProcsInto(dst)
+	if len(got) != 5 || got[0] != 1 || got[2] != 3 || got[3] != 7 || got[4] != 8 {
+		t.Fatalf("append semantics broken: %v", got)
+	}
+}
+
+func TestProcsIntoTruncatedKeepsDst(t *testing.T) {
+	// A decode failure mid-list must leave the visible dst untouched and the
+	// reader's sticky error set.
+	w := wire.NewWriter(8)
+	w.Uint(3) // claims three elements
+	w.Proc(5) // delivers one
+	dst := make([]ident.ProcID, 0, 4)
+	r := wire.NewReader(w.Bytes())
+	got := r.ProcsInto(dst)
+	if len(got) != 0 {
+		t.Fatalf("truncated list extended dst: %v", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("truncated list decoded without error")
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := wire.NewWriter(4)
+	w.Uint(1)
+	w.BytesField([]byte("first"))
+	first := append([]byte(nil), w.Bytes()...)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("reset writer has %d bytes", w.Len())
+	}
+	w.Uint(1)
+	w.BytesField([]byte("first"))
+	if !bytes.Equal(w.Bytes(), first) {
+		t.Fatalf("re-encoding after Reset differs: %x vs %x", w.Bytes(), first)
+	}
+}
+
+func TestReaderReset(t *testing.T) {
+	w := wire.NewWriter(8)
+	w.Uint(42)
+	var r wire.Reader
+	r.Reset(nil)
+	_ = r.Uint() // fails: empty buffer
+	if r.Err() == nil {
+		t.Fatal("expected error on empty buffer")
+	}
+	// Reset must clear the sticky error and rewind onto the new buffer.
+	r.Reset(w.Bytes())
+	if got := r.Uint(); got != 42 || r.Finish() != nil {
+		t.Fatalf("reader after Reset: got %d, err %v", got, r.Finish())
+	}
+}
+
 func TestTruncatedInputs(t *testing.T) {
 	w := wire.NewWriter(16)
 	w.Uint(300)
