@@ -14,17 +14,33 @@
 #   make baexp       - regenerate every evaluation table
 #   make trace-smoke - end-to-end trace pipeline check (basim -trace → batrace)
 #   make faults      - fault-injection scenario matrix under -race (part of check)
+#   make slo         - open-loop SLO gate: Poisson load against a self-hosted
+#                      server must meet a generous p99 (part of check)
+#   make bench-ops   - ops-plane benchmarks (open-loop latency, zero-alloc
+#                      metrics scrape); archives BENCH_006.json
 #   make fuzz        - run every fuzz target on a short fixed budget
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check lint test bench bench-trace bench-service bench-transport baexp trace-smoke faults fuzz
+.PHONY: check lint test bench bench-trace bench-service bench-transport bench-ops baexp trace-smoke faults slo fuzz
 
 check: lint faults
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race -count=1 ./internal/service/ ./internal/runner/ ./internal/transport/
+	$(GO) test -race -count=1 ./internal/service/ ./internal/runner/ ./internal/transport/ ./internal/obs/
+	$(MAKE) slo
+
+# The serving SLO gate: a short open-loop run (Poisson arrivals, latency
+# measured from each scheduled arrival, rejections shed) against a
+# self-hosted sharded server. -slo-p99 makes the run exit non-zero on a
+# violation; the bound is deliberately generous — this catches
+# pipeline-level latency regressions (a stuck sequencer, an accidental
+# closed-loop retry), not machine noise.
+slo:
+	$(GO) run ./cmd/baload -selfhost -protocol alg1-multi -t 3 \
+		-shards 4 -batch 8 -adaptive -c 16 -mod 64 \
+		-rate 400 -duration 3s -seed 1 -slo-p99 2s
 
 # Formatting and static-analysis gate. gofmt -l prints offending files; the
 # shell turns any output into a failure so CI catches drift.
@@ -87,6 +103,16 @@ bench-transport:
 	{ $(GO) test -bench 'BenchmarkMeshWarmVsCold|BenchmarkFramePath' -benchtime=200x -benchmem -run '^$$' ./internal/transport/ ; \
 	  $(GO) test -bench 'BenchmarkServiceWarmTCP' -benchtime=300x -benchmem -run '^$$' -timeout 20m ./internal/service/ ; } \
 	| /tmp/benchjson -label current > BENCH_005.json
+
+# The ops-plane numbers (BENCH_006): sustained open-loop serving over the
+# real wire (offered/s vs values/s, coordinated-omission-free p50/p99, shed
+# fraction) and the metrics scrape path (allocs/op must report 0 — a tight
+# scrape loop adds no GC pressure to a loaded server).
+bench-ops:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	{ $(GO) test -bench 'BenchmarkServiceOpenLoop' -benchtime=4000x -benchmem -run '^$$' ./internal/service/ ; \
+	  $(GO) test -bench 'BenchmarkMetricsScrape' -benchtime=20000x -benchmem -run '^$$' ./internal/obs/ ; } \
+	| /tmp/benchjson -label current > BENCH_006.json
 
 # Short fixed-budget fuzzing of every decoder that touches attacker-supplied
 # bytes: the wire codec (seeded from captured real-run envelopes) and the

@@ -1,16 +1,28 @@
-// Command baload drives a closed-loop load against a baserve: each
-// connection keeps exactly one request outstanding, retrying backpressure
-// rejections, and the run ends with throughput, latency percentiles, and
-// the amortized correct-sender message/signature cost per decided value.
+// Command baload drives load against a baserve, in either of two modes:
+//
+// Closed loop (default): each of -c connections keeps exactly one request
+// outstanding, retrying backpressure rejections. Offered load adapts to the
+// server — good for throughput ceilings, blind to overload latency.
+//
+// Open loop (-rate): submissions arrive as a Poisson process at -rate
+// arrivals per second for -duration, fanned out over -c connections,
+// whether or not earlier requests finished. Latency is measured from each
+// request's scheduled arrival (coordinated-omission-free) and queue-full
+// rejections are shed, not retried. A fixed -seed reproduces the arrival
+// schedule exactly. -slo-p99 turns the run into a gate: if the p99 latency
+// exceeds the bound (or any arrival fails outright), the exit code is
+// non-zero — the `make slo` contract.
 //
 //	baload -addr 127.0.0.1:9440 -c 100 -requests 3
 //	baload -addr 127.0.0.1:9440 -c 16 -verify -protocol alg1 -n 7 -t 3
 //	baload -selfhost -protocol alg1-multi -t 3 -shards 4 -adaptive -c 32
+//	baload -selfhost -protocol alg1-multi -t 3 -rate 500 -duration 5s -slo-p99 50ms
 //
-// With -selfhost, baload starts the service in-process on a loopback port
-// (configured by the same template and serving flags baserve takes, notably
-// -shards and -adaptive), drives the load against it, then drains it — a
-// one-command end-to-end exercise of the sharded serving path.
+// With -selfhost, baload starts the service in-process on a loopback port —
+// configured by the same serving flags baserve takes (cli.RegisterServeFlags:
+// -shards, -adaptive, -warm-mesh, -faults, -trace, -metrics-addr, ...) —
+// drives the load against it, then drains it: a one-command end-to-end
+// exercise of the sharded serving path, ops plane included.
 //
 // With -verify, every distinct instance observed in the replies is
 // re-executed serially with core.Run on the (seed, packed value) the server
@@ -26,13 +38,13 @@ import (
 	"net"
 	"os"
 	"sort"
-	"strings"
+	"time"
 
 	"byzex/internal/cli"
 	"byzex/internal/core"
 	"byzex/internal/ident"
+	"byzex/internal/obs"
 	"byzex/internal/service"
-	"byzex/internal/transport"
 )
 
 func main() {
@@ -42,33 +54,19 @@ func main() {
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("baload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	sf := cli.RegisterServeFlags(fs)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:9440", "baserve address")
-		conns    = fs.Int("c", 16, "concurrent connections (closed loop)")
-		requests = fs.Int("requests", 8, "successful submissions per connection")
+		conns    = fs.Int("c", 16, "connection fan-out (closed loop: one outstanding request each; open loop: in-flight bound)")
+		requests = fs.Int("requests", 8, "closed loop: successful submissions per connection")
 		mod      = fs.Int("mod", 2, "values cycle over [0,mod); keep 2 for binary protocols")
 		verify   = fs.Bool("verify", false, "re-run every observed instance serially and compare")
+		selfhost = fs.Bool("selfhost", false, "start an in-process server on 127.0.0.1:0 from the serving flags and load it")
 
-		// Self-host mode: run the service in-process instead of dialing out.
-		selfhost = fs.Bool("selfhost", false, "start an in-process server on 127.0.0.1:0 from the template flags and load it")
-		shards   = fs.Int("shards", 0, "selfhost: shard workers (default GOMAXPROCS)")
-		batch    = fs.Int("batch", 1, "selfhost: fixed batch size")
-		adaptive = fs.Bool("adaptive", false, "selfhost: adaptive batching in [1, max(-batch,16)]")
-		queue    = fs.Int("queue", 64, "selfhost: admission queue depth")
-		trans    = fs.String("transport", "memory", "selfhost: substrate per instance: memory|tcp")
-		warmMesh = fs.Bool("warm-mesh", false, "selfhost: with -transport tcp, one long-lived mesh per shard")
-
-		// Template flags, consulted with -verify (must match the serving
-		// baserve; the per-instance seed comes from each reply) and with
-		// -selfhost (they configure the in-process server).
-		protoName = fs.String("protocol", "alg1", "server's protocol: "+strings.Join(cli.ProtocolNames(), "|"))
-		n         = fs.Int("n", 0, "server's processor count (default 2t+1)")
-		t         = fs.Int("t", 2, "server's fault bound")
-		s         = fs.Int("s", 0, "server's set/tree size parameter")
-		advName   = fs.String("adversary", "none", "server's adversary")
-		schemeStr = fs.String("scheme", "hmac", "server's signature scheme")
-		faultSpec = fs.String("faults", "", "server's fault-injection spec (see internal/faultnet)")
-		seed      = fs.Int64("seed", 1, "server's base seed (selfhost)")
+		// Open-loop mode and its SLO gate.
+		rate     = fs.Float64("rate", 0, "open loop: Poisson arrival rate in submissions/s (0 = closed loop)")
+		duration = fs.Duration("duration", 2*time.Second, "open loop: arrival window")
+		sloP99   = fs.Duration("slo-p99", 0, "open loop: exit non-zero unless p99 latency <= this bound (0 = no gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,11 +74,12 @@ func run(args []string, stdout, stderr *os.File) int {
 	if *mod < 1 {
 		*mod = 1
 	}
+	if *rate == 0 && *sloP99 > 0 {
+		fmt.Fprintln(stderr, "-slo-p99 requires the open loop (-rate): closed-loop latency hides overload")
+		return 2
+	}
 
-	tmpl, warn, err := cli.Template{
-		Protocol: *protoName, Adversary: *advName, Scheme: *schemeStr,
-		Faults: *faultSpec, N: *n, T: *t, S: *s, Seed: *seed,
-	}.Resolve()
+	tmpl, warn, err := sf.Template().Resolve()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -94,36 +93,23 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	var hosted *service.Service
 	if *selfhost {
-		svcCfg := service.Config{
-			Template:   tmpl,
-			Shards:     *shards,
-			QueueDepth: *queue,
-			BatchSize:  *batch,
-		}
-		switch *trans {
-		case "memory":
-			if *warmMesh {
-				fmt.Fprintln(stderr, "-warm-mesh requires -transport tcp")
-				return 1
-			}
-		case "tcp":
-			if *warmMesh {
-				pool := service.NewWarmTCP(tmpl.N, transport.Net{})
-				svcCfg.NewShardRun = pool.NewShardRun
-				svcCfg.CloseShardRun = pool.CloseShard
-			} else {
-				svcCfg.Run = service.RunTCP(transport.Net{})
-			}
-		default:
-			fmt.Fprintf(stderr, "unknown transport %q\n", *trans)
+		svcCfg, err := sf.ServiceConfig(tmpl)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		if *adaptive {
-			bmax := *batch
-			if bmax < 2 {
-				bmax = 16
-			}
-			svcCfg.BatchMin, svcCfg.BatchMax = 1, bmax
+		spool, closeSpool, err := sf.OpenSpool()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if spool != nil {
+			svcCfg.Trace = spool
+			defer func() {
+				if err := closeSpool(); err != nil {
+					fmt.Fprintln(stderr, err)
+				}
+			}()
 		}
 		hosted, err = service.New(ctx, svcCfg)
 		if err != nil {
@@ -142,24 +128,57 @@ func run(args []string, stdout, stderr *os.File) int {
 			<-served
 			hosted.Close()
 		}()
+		if *sf.MetricsAddr != "" {
+			exp := obs.NewExporter()
+			exp.Register(obs.NewServiceCollector(hosted))
+			if spool != nil {
+				exp.Register(obs.NewSpoolCollector(spool))
+			}
+			mln, err := net.Listen("tcp", *sf.MetricsAddr)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			go func() { _ = obs.Serve(ctx, mln, exp) }()
+			fmt.Fprintf(stdout, "metrics: http://%s/metrics\n", mln.Addr())
+		}
 		*addr = ln.Addr().String()
 		fmt.Fprintf(stdout, "selfhost: %s n=%d t=%d shards=%d listening on %s\n",
-			*protoName, tmpl.N, tmpl.T, hosted.Stats().Shards, *addr)
+			*sf.Protocol, tmpl.N, tmpl.T, hosted.Stats().Shards, *addr)
 	}
 
-	load, err := service.RunLoad(ctx, service.LoadConfig{
-		Addr:     *addr,
-		Conns:    *conns,
-		Requests: *requests,
-		ValueFor: func(c, i int) ident.Value { return ident.Value((c + i) % *mod) },
-	})
+	var load *service.LoadStats
+	if *rate > 0 {
+		load, err = service.RunOpenLoad(ctx, service.OpenLoadConfig{
+			Addr:     *addr,
+			Conns:    *conns,
+			Rate:     *rate,
+			Duration: *duration,
+			Seed:     *sf.Seed,
+			ValueFor: func(i int) ident.Value { return ident.Value(i % *mod) },
+		})
+	} else {
+		load, err = service.RunLoad(ctx, service.LoadConfig{
+			Addr:     *addr,
+			Conns:    *conns,
+			Requests: *requests,
+			ValueFor: func(c, i int) ident.Value { return ident.Value((c + i) % *mod) },
+		})
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
 
-	fmt.Fprintf(stdout, "submitted: %d ok, %d backpressure retries, %d distinct instances\n",
-		load.Submitted, load.Rejected, len(load.Instances))
+	if *rate > 0 {
+		fmt.Fprintf(stdout, "offered: %d arrivals at %.0f/s over %v (seed %d)\n",
+			load.Offered, *rate, *duration, *sf.Seed)
+		fmt.Fprintf(stdout, "submitted: %d ok, %d shed, %d distinct instances\n",
+			load.Submitted, load.Rejected, len(load.Instances))
+	} else {
+		fmt.Fprintf(stdout, "submitted: %d ok, %d backpressure retries, %d distinct instances\n",
+			load.Submitted, load.Rejected, len(load.Instances))
+	}
 	fmt.Fprintf(stdout, "throughput: %.1f values/s over %v\n", load.Throughput(), load.Elapsed.Round(load.Elapsed/1000+1))
 	fmt.Fprintf(stdout, "latency: p50=%v p90=%v p99=%v\n",
 		load.Percentile(50), load.Percentile(90), load.Percentile(99))
@@ -168,6 +187,16 @@ func run(args []string, stdout, stderr *os.File) int {
 	if hosted != nil {
 		st := hosted.Stats()
 		fmt.Fprintf(stdout, "server: %s\n", st.String())
+	}
+
+	if *sloP99 > 0 {
+		p99 := load.Percentile(99)
+		if load.Submitted == 0 || p99 > *sloP99 {
+			fmt.Fprintf(stderr, "slo: FAIL p99=%v > bound %v (%d/%d arrivals served)\n",
+				p99, *sloP99, load.Submitted, load.Offered)
+			return 1
+		}
+		fmt.Fprintf(stdout, "slo: ok p99=%v <= %v\n", p99, *sloP99)
 	}
 
 	if !*verify {

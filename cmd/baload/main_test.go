@@ -82,3 +82,60 @@ func TestBadFlags(t *testing.T) {
 		t.Fatal("bad fault spec accepted")
 	}
 }
+
+// TestOpenLoopSelfhost drives the open loop end to end in one process:
+// Poisson arrivals against a self-hosted server, a generous SLO gate that
+// must pass, and a metrics endpoint scrapable mid-run semantics (the
+// exporter is exercised directly in internal/obs; here we pin the flag
+// wiring and the banner).
+func TestOpenLoopSelfhost(t *testing.T) {
+	code, stdout, stderr := capture(t, []string{
+		"-selfhost", "-protocol", "alg1-multi", "-t", "3",
+		"-shards", "4", "-batch", "8", "-adaptive",
+		"-c", "8", "-mod", "64",
+		"-rate", "300", "-duration", "500ms", "-seed", "9",
+		"-slo-p99", "5s",
+		"-verify",
+	})
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "offered:") {
+		t.Fatalf("no open-loop banner:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "slo: ok") {
+		t.Fatalf("SLO gate did not report:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "instances match serial core.Run exactly") {
+		t.Fatalf("verification did not run:\n%s", stdout)
+	}
+}
+
+// TestSLOGateFails pins the gate's contract: an unmeetable bound exits
+// non-zero and says why on stderr.
+func TestSLOGateFails(t *testing.T) {
+	code, stdout, stderr := capture(t, []string{
+		"-selfhost", "-protocol", "alg1", "-t", "2",
+		"-c", "2",
+		"-rate", "200", "-duration", "300ms", "-seed", "3",
+		"-slo-p99", "1ns",
+	})
+	if code == 0 {
+		t.Fatalf("impossible SLO passed\nstdout:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "slo: FAIL") {
+		t.Fatalf("no SLO failure report:\n%s", stderr)
+	}
+}
+
+// TestSLORequiresOpenLoop pins the flag-surface guard: -slo-p99 without
+// -rate is a usage error (closed-loop latency cannot gate an SLO).
+func TestSLORequiresOpenLoop(t *testing.T) {
+	code, _, stderr := capture(t, []string{"-selfhost", "-slo-p99", "10ms"})
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-slo-p99 requires the open loop") {
+		t.Fatalf("no usage message:\n%s", stderr)
+	}
+}

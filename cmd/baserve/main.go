@@ -3,16 +3,24 @@
 // protocol (see internal/service), and serves each batch of values as one
 // agreement instance over the chosen substrate.
 //
-// Flags mirror basim for the protocol template; the serving knobs are new:
+// Flags mirror basim for the protocol template; the serving knobs are
+// shared with baload's selfhost mode via cli.RegisterServeFlags:
 //
 //	baserve -protocol alg1 -n 7 -t 3 -addr :9000
 //	baserve -protocol alg1-multi -t 3 -batch 16 -linger 2ms -shards 8
 //	baserve -protocol alg1-multi -t 3 -adaptive -batch-max 32
-//	baserve -protocol dolev-strong -n 16 -t 4 -transport tcp
+//	baserve -protocol dolev-strong -n 16 -t 4 -transport tcp -warm-mesh
+//	baserve -protocol alg1-multi -t 3 -metrics-addr 127.0.0.1:9441 -trace run.jsonl
 //
 // -shards sets the number of concurrent instance executors; -adaptive
 // replaces the fixed -batch size with a controller that grows the batch
 // under backlog and shrinks it when idle (window [-batch-min, -batch-max]).
+//
+// The ops plane: -metrics-addr serves a Prometheus text /metrics endpoint
+// (service gauges plus trace counters, one consistent snapshot per scrape);
+// -trace spools the execution trace to disk as instances deliver, with
+// admission-scoped events held in a bounded ring (-trace-ring), so tracing
+// survives sustained load with constant memory.
 //
 // SIGINT/SIGTERM drains: admitted values still decide, new submissions are
 // rejected with "ERR draining", and the process exits once the queue is
@@ -26,14 +34,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
 	"byzex/internal/cli"
+	"byzex/internal/obs"
 	"byzex/internal/service"
-	"byzex/internal/trace"
-	"byzex/internal/transport"
 )
 
 func main() {
@@ -43,99 +49,37 @@ func main() {
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("baserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	sf := cli.RegisterServeFlags(fs)
 	var (
-		protoName = fs.String("protocol", "alg1", "protocol: "+strings.Join(cli.ProtocolNames(), "|"))
-		n         = fs.Int("n", 0, "number of processors (default 2t+1)")
-		t         = fs.Int("t", 2, "fault bound")
-		s         = fs.Int("s", 0, "set/tree size parameter for alg3/alg5 (default t)")
-		advName   = fs.String("adversary", "none", "adversary: "+strings.Join(cli.AdversaryNames(), "|"))
-		faultSpec = fs.String("faults", "", `fault-injection spec applied to every instance, e.g. "crash=1@2" (see internal/faultnet)`)
-		schemeStr = fs.String("scheme", "hmac", "signature scheme: hmac|ed25519|plain")
-		trans     = fs.String("transport", "memory", "substrate per instance: memory|tcp")
-		warmMesh  = fs.Bool("warm-mesh", false, "with -transport tcp: one long-lived mesh per shard, reused across instances")
-		linkDelay = fs.Duration("link-delay", 0, "with -transport tcp: modeled one-way link latency per phase")
-		seed      = fs.Int64("seed", 1, "base seed; instance i runs with seed+i")
-		addr      = fs.String("addr", "127.0.0.1:9440", "listen address")
-		batch     = fs.Int("batch", 1, "max values coalesced into one instance (fixed batching)")
-		adaptive  = fs.Bool("adaptive", false, "adaptive batching inside [-batch-min, -batch-max] instead of fixed -batch")
-		batchMin  = fs.Int("batch-min", 1, "adaptive window lower bound")
-		batchMax  = fs.Int("batch-max", 0, "adaptive window upper bound (default -batch, or 16)")
-		linger    = fs.Duration("linger", 0, "how long to wait for a batch to fill")
-		queue     = fs.Int("queue", 64, "admission queue depth")
-		shards    = fs.Int("shards", 0, "shard workers executing instances concurrently (default GOMAXPROCS)")
-		inflight  = fs.Int("inflight", 0, "deprecated alias for -shards")
-		tracePath = fs.String("trace", "", "write the service execution trace (JSONL) to this file on drain")
-		verbose   = fs.Bool("v", false, "print the trace summary table on drain")
+		addr    = fs.String("addr", "127.0.0.1:9440", "listen address")
+		verbose = fs.Bool("v", false, "print the trace summary table on drain")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	tmpl, warn, err := cli.Template{
-		Protocol: *protoName, Adversary: *advName, Scheme: *schemeStr,
-		Faults: *faultSpec, N: *n, T: *t, S: *s, Seed: *seed,
-	}.Resolve()
+	tmpl, warn, err := sf.Template().Resolve()
 	if err != nil {
 		return fail(stderr, err)
 	}
 	if warn != "" {
 		fmt.Fprintf(stderr, "warning: %s\n", warn)
 	}
-
-	runFn := service.RunSim
-	var warmPool *service.WarmTCP
-	switch *trans {
-	case "memory":
-		if *warmMesh {
-			return fail(stderr, fmt.Errorf("-warm-mesh requires -transport tcp"))
-		}
-	case "tcp":
-		netCfg := transport.Net{LinkDelay: *linkDelay}
-		if *warmMesh {
-			warmPool = service.NewWarmTCP(tmpl.N, netCfg)
-		} else {
-			runFn = service.RunTCP(netCfg)
-		}
-	default:
-		return fail(stderr, fmt.Errorf("unknown transport %q", *trans))
+	svcCfg, err := sf.ServiceConfig(tmpl)
+	if err != nil {
+		return fail(stderr, err)
 	}
-
-	var (
-		traceBuf *trace.Buffer
-		sink     trace.Sink
-	)
-	if *tracePath != "" {
-		traceBuf = trace.NewBuffer()
-		sink = traceBuf
+	spool, closeSpool, err := sf.OpenSpool()
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if spool != nil {
+		svcCfg.Trace = spool
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	svcCfg := service.Config{
-		Template:    tmpl,
-		Run:         runFn,
-		Shards:      *shards,
-		MaxInFlight: *inflight,
-		QueueDepth:  *queue,
-		BatchSize:   *batch,
-		Linger:      *linger,
-		Trace:       sink,
-	}
-	if warmPool != nil {
-		svcCfg.NewShardRun = warmPool.NewShardRun
-		svcCfg.CloseShardRun = warmPool.CloseShard
-	}
-	if *adaptive {
-		bmax := *batchMax
-		if bmax < 1 {
-			bmax = *batch
-		}
-		if bmax < 2 {
-			bmax = 16
-		}
-		svcCfg.BatchMin, svcCfg.BatchMax = *batchMin, bmax
-	}
 	svc, err := service.New(ctx, svcCfg)
 	if err != nil {
 		return fail(stderr, err)
@@ -145,37 +89,55 @@ func run(args []string, stdout, stderr *os.File) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
-	batchDesc := fmt.Sprintf("batch=%d", *batch)
-	if *adaptive {
+
+	// The metrics endpoint shares the process but not the serving listener:
+	// scrapes stay cheap (zero-alloc renders of existing counters) and a
+	// slow scraper cannot occupy a serving connection slot.
+	var metricsDone chan error
+	if *sf.MetricsAddr != "" {
+		exp := obs.NewExporter()
+		exp.Register(obs.NewServiceCollector(svc))
+		if spool != nil {
+			exp.Register(obs.NewSpoolCollector(spool))
+		}
+		mln, err := net.Listen("tcp", *sf.MetricsAddr)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		metricsDone = make(chan error, 1)
+		go func() { metricsDone <- obs.Serve(ctx, mln, exp) }()
+		fmt.Fprintf(stdout, "metrics: http://%s/metrics\n", mln.Addr())
+	}
+
+	batchDesc := fmt.Sprintf("batch=%d", svcCfg.BatchSize)
+	if svcCfg.BatchMax > 1 {
 		batchDesc = fmt.Sprintf("batch=adaptive[%d..%d]", svcCfg.BatchMin, svcCfg.BatchMax)
 	}
 	fmt.Fprintf(stdout, "baserve: %s n=%d t=%d %s shards=%d listening on %s\n",
-		*protoName, tmpl.N, tmpl.T, batchDesc, svc.Stats().Shards, ln.Addr())
+		*sf.Protocol, tmpl.N, tmpl.T, batchDesc, svc.Stats().Shards, ln.Addr())
 
 	start := time.Now()
 	if err := service.Serve(ctx, ln, svc); err != nil {
 		return fail(stderr, err)
 	}
 	svc.Close()
+	if metricsDone != nil {
+		if err := <-metricsDone; err != nil {
+			return fail(stderr, err)
+		}
+	}
 
 	st := svc.Stats()
 	fmt.Fprintf(stdout, "drained after %v: %s\n", time.Since(start).Round(time.Millisecond), st.String())
-	if traceBuf != nil {
-		sum := trace.Summarize(traceBuf.Events())
-		f, err := os.Create(*tracePath)
-		if err != nil {
+	if spool != nil {
+		if err := closeSpool(); err != nil {
 			return fail(stderr, err)
 		}
-		if err := trace.WriteJSONL(f, traceBuf.Events()); err != nil {
-			_ = f.Close()
-			return fail(stderr, err)
-		}
-		if err := f.Close(); err != nil {
-			return fail(stderr, err)
-		}
-		fmt.Fprintf(stdout, "trace: %s (%d events)\n", *tracePath, traceBuf.Len())
+		spst := spool.Stats() // post-close: Flushed includes the ring tail
+		fmt.Fprintf(stdout, "trace: %s (%d events, %d spooled, %d admission-scoped dropped)\n",
+			*sf.TracePath, spst.Events, spst.Flushed, spst.Dropped)
 		if *verbose {
-			fmt.Fprint(stdout, sum.Table())
+			fmt.Fprint(stdout, spst.Summary.Table())
 		}
 	} else if *verbose {
 		fmt.Fprintf(stdout, "amortized: %.2f msgs/value %.2f sigs/value\n",

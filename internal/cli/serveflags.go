@@ -1,0 +1,157 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"byzex/internal/core"
+	"byzex/internal/service"
+	"byzex/internal/trace"
+	"byzex/internal/transport"
+)
+
+// ServeFlags is the serving flag surface shared by baserve and baload's
+// selfhost mode: the instance template (protocol, n, t, adversary, faults,
+// scheme, seed), the substrate (-transport, -warm-mesh, -link-delay), the
+// pipeline knobs (-shards, -queue, -batch and the adaptive window,
+// -linger), and the ops plane (-metrics-addr, -trace, -trace-ring). The two
+// binaries previously declared overlapping subsets of these by hand and had
+// started to drift (baload's selfhost silently lacked -linger, -link-delay
+// and -faults defaults matched only by accident); RegisterServeFlags
+// declares each flag exactly once, so the surfaces cannot diverge again.
+type ServeFlags struct {
+	// Template flags (see Template).
+	Protocol  *string
+	Adversary *string
+	Scheme    *string
+	Faults    *string
+	N, T, S   *int
+	Seed      *int64
+
+	// Substrate flags.
+	Transport *string
+	WarmMesh  *bool
+	LinkDelay *time.Duration
+
+	// Pipeline flags.
+	Shards   *int
+	Inflight *int
+	Queue    *int
+	Batch    *int
+	Adaptive *bool
+	BatchMin *int
+	BatchMax *int
+	Linger   *time.Duration
+
+	// Ops-plane flags.
+	MetricsAddr *string
+	TracePath   *string
+	TraceRing   *int
+}
+
+// RegisterServeFlags declares the shared serving surface on fs and returns
+// the bound values. Command-specific flags (-addr, -c, -rate, ...) stay with
+// their command.
+func RegisterServeFlags(fs *flag.FlagSet) *ServeFlags {
+	sf := &ServeFlags{}
+	sf.Protocol = fs.String("protocol", "alg1", "protocol: "+strings.Join(ProtocolNames(), "|"))
+	sf.N = fs.Int("n", 0, "number of processors (default 2t+1)")
+	sf.T = fs.Int("t", 2, "fault bound")
+	sf.S = fs.Int("s", 0, "set/tree size parameter for alg3/alg5 (default t)")
+	sf.Adversary = fs.String("adversary", "none", "adversary: "+strings.Join(AdversaryNames(), "|"))
+	sf.Faults = fs.String("faults", "", `fault-injection spec applied to every instance, e.g. "crash=1@2" (see internal/faultnet)`)
+	sf.Scheme = fs.String("scheme", "hmac", "signature scheme: hmac|ed25519|plain")
+	sf.Seed = fs.Int64("seed", 1, "base seed; instance i runs with seed+i")
+
+	sf.Transport = fs.String("transport", "memory", "substrate per instance: memory|tcp")
+	sf.WarmMesh = fs.Bool("warm-mesh", false, "with -transport tcp: one long-lived mesh per shard, reused across instances")
+	sf.LinkDelay = fs.Duration("link-delay", 0, "with -transport tcp: modeled one-way link latency per phase")
+
+	sf.Shards = fs.Int("shards", 0, "shard workers executing instances concurrently (default GOMAXPROCS)")
+	sf.Inflight = fs.Int("inflight", 0, "deprecated alias for -shards")
+	sf.Queue = fs.Int("queue", 64, "admission queue depth")
+	sf.Batch = fs.Int("batch", 1, "max values coalesced into one instance (fixed batching)")
+	sf.Adaptive = fs.Bool("adaptive", false, "adaptive batching inside [-batch-min, -batch-max] instead of fixed -batch")
+	sf.BatchMin = fs.Int("batch-min", 1, "adaptive window lower bound")
+	sf.BatchMax = fs.Int("batch-max", 0, "adaptive window upper bound (default -batch, or 16)")
+	sf.Linger = fs.Duration("linger", 0, "how long to wait for a batch to fill")
+
+	sf.MetricsAddr = fs.String("metrics-addr", "", "serve Prometheus text metrics on this address (e.g. 127.0.0.1:9441); empty = off")
+	sf.TracePath = fs.String("trace", "", "spool the service execution trace (JSONL) to this file; instance events flush at delivery")
+	sf.TraceRing = fs.Int("trace-ring", 4096, "with -trace: admission-scoped events retained (older ones are dropped and counted)")
+	return sf
+}
+
+// Template packs the template flags for Resolve.
+func (sf *ServeFlags) Template() Template {
+	return Template{
+		Protocol: *sf.Protocol, Adversary: *sf.Adversary, Scheme: *sf.Scheme,
+		Faults: *sf.Faults, N: *sf.N, T: *sf.T, S: *sf.S, Seed: *sf.Seed,
+	}
+}
+
+// ServiceConfig turns the pipeline and substrate flags into a service
+// config over the resolved template. The trace sink is not wired here —
+// callers attach OpenSpool's spool (or any sink) to the returned config.
+func (sf *ServeFlags) ServiceConfig(tmpl core.Config) (service.Config, error) {
+	cfg := service.Config{
+		Template:    tmpl,
+		Shards:      *sf.Shards,
+		MaxInFlight: *sf.Inflight,
+		QueueDepth:  *sf.Queue,
+		BatchSize:   *sf.Batch,
+		Linger:      *sf.Linger,
+	}
+	switch *sf.Transport {
+	case "memory":
+		if *sf.WarmMesh {
+			return cfg, errors.New("-warm-mesh requires -transport tcp")
+		}
+	case "tcp":
+		netCfg := transport.Net{LinkDelay: *sf.LinkDelay}
+		if *sf.WarmMesh {
+			cfg.Substrate = service.NewWarmTCP(tmpl.N, netCfg)
+		} else {
+			cfg.Run = service.RunTCP(netCfg)
+		}
+	default:
+		return cfg, fmt.Errorf("unknown transport %q", *sf.Transport)
+	}
+	if *sf.Adaptive {
+		bmax := *sf.BatchMax
+		if bmax < 1 {
+			bmax = *sf.Batch
+		}
+		if bmax < 2 {
+			bmax = 16
+		}
+		cfg.BatchMin, cfg.BatchMax = *sf.BatchMin, bmax
+	}
+	return cfg, nil
+}
+
+// OpenSpool creates the -trace spool over its output file. It returns
+// (nil, nil, nil) when -trace is unset; otherwise the caller attaches the
+// spool as the service's trace sink and invokes close() after the service
+// drains (it appends the admission ring, flushes and closes the file).
+func (sf *ServeFlags) OpenSpool() (sp *trace.Spool, close func() error, err error) {
+	if *sf.TracePath == "" {
+		return nil, nil, nil
+	}
+	f, err := os.Create(*sf.TracePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp = trace.NewSpool(f, *sf.TraceRing)
+	return sp, func() error {
+		err := sp.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}, nil
+}

@@ -1,0 +1,255 @@
+// Package obs is the serving layer's observability plane: a dependency-free
+// Prometheus text-format exporter that turns the counters the repo already
+// maintains (service.Stats, trace.Spool's live Summary) into an HTTP
+// /metrics endpoint a standard scraper can poll.
+//
+// Two properties drive the design, both inherited from the serving layer's
+// own contracts:
+//
+//   - Consistent snapshots. Each collector reads its source through one
+//     snapshot call (service.Service.StatsInto, trace.Spool.StatsInto), so
+//     every sample in one scrape comes from a single acquisition of the
+//     source's own mutex — a scrape never shows a submitted counter from
+//     one moment and a decided counter from another.
+//
+//   - Zero allocation on the scrape path. Metric descriptors precompute
+//     their exposition bytes (HELP/TYPE header, sample-name prefix, label
+//     prefixes) at construction; a scrape appends those plus
+//     strconv-rendered values into one reusable buffer. After the first
+//     scrape sizes the buffer, rendering allocates nothing, so a tight
+//     scrape loop cannot add GC pressure to a loaded server — the same
+//     discipline as the transport's zero-alloc frame path.
+//
+// The package speaks Prometheus text exposition format version 0.0.4
+// (`# HELP` / `# TYPE` comments followed by samples) because it is trivially
+// greppable, curl-able and supported by every scraper; no client library is
+// imported.
+package obs
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ContentType is the Prometheus text exposition format content type the
+// exporter serves.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Desc describes one metric family: name, type and help text. The exposition
+// bytes are precomputed so emitting a sample is an append, never a format.
+type Desc struct {
+	name   string
+	header []byte // "# HELP name help\n# TYPE name typ\n"
+	line   []byte // "name " — the unlabeled sample prefix
+}
+
+// NewDesc returns a descriptor for a metric family. typ must be "gauge" or
+// "counter" (the only types the exporter emits); the name must be a valid
+// Prometheus metric name. Both are programmer inputs, so violations panic at
+// construction rather than producing a malformed exposition at scrape time.
+func NewDesc(name, typ, help string) *Desc {
+	if typ != "gauge" && typ != "counter" {
+		panic("obs: metric type must be gauge or counter: " + typ)
+	}
+	if !validName(name) {
+		panic("obs: invalid metric name: " + name)
+	}
+	var h []byte
+	h = append(h, "# HELP "...)
+	h = append(h, name...)
+	h = append(h, ' ')
+	h = append(h, escapeHelp(help)...)
+	h = append(h, "\n# TYPE "...)
+	h = append(h, name...)
+	h = append(h, ' ')
+	h = append(h, typ...)
+	h = append(h, '\n')
+	return &Desc{name: name, header: h, line: append([]byte(name), ' ')}
+}
+
+// Label returns the precomputed sample prefix for one label value of the
+// family: `name{key="value"} `. Collectors build labels once (at
+// construction or lazily on first sight) and reuse them every scrape.
+func (d *Desc) Label(key, value string) Label {
+	var p []byte
+	p = append(p, d.name...)
+	p = append(p, '{')
+	p = append(p, key...)
+	p = append(p, `="`...)
+	p = append(p, escapeLabel(value)...)
+	p = append(p, `"} `...)
+	return Label{prefix: p}
+}
+
+// Label is one precomputed labeled-sample prefix (see Desc.Label).
+type Label struct {
+	prefix []byte
+}
+
+func validName(name string) bool {
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return name != ""
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+// Writer accumulates one scrape's exposition text in a reusable buffer. Emit
+// methods append the family header (callers emit each family exactly once
+// per scrape) and the samples; nothing allocates once the buffer has grown
+// to the exposition's steady-state size.
+type Writer struct {
+	buf []byte
+}
+
+// Reset empties the buffer, keeping its storage.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Bytes returns the accumulated exposition. The slice is the writer's
+// backing storage — valid until the next Reset.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Int emits an unlabeled family with one integer sample.
+func (w *Writer) Int(d *Desc, v int64) {
+	w.buf = append(w.buf, d.header...)
+	w.buf = append(w.buf, d.line...)
+	w.buf = strconv.AppendInt(w.buf, v, 10)
+	w.buf = append(w.buf, '\n')
+}
+
+// Uint emits an unlabeled family with one unsigned-integer sample.
+func (w *Writer) Uint(d *Desc, v uint64) {
+	w.buf = append(w.buf, d.header...)
+	w.buf = append(w.buf, d.line...)
+	w.buf = strconv.AppendUint(w.buf, v, 10)
+	w.buf = append(w.buf, '\n')
+}
+
+// Float emits an unlabeled family with one float sample (shortest exact
+// representation, the Prometheus convention for seconds).
+func (w *Writer) Float(d *Desc, v float64) {
+	w.buf = append(w.buf, d.header...)
+	w.buf = append(w.buf, d.line...)
+	w.buf = strconv.AppendFloat(w.buf, v, 'g', -1, 64)
+	w.buf = append(w.buf, '\n')
+}
+
+// Family emits a family header alone; follow with LabelUint samples.
+func (w *Writer) Family(d *Desc) {
+	w.buf = append(w.buf, d.header...)
+}
+
+// LabelUint emits one labeled sample of the most recent Family.
+func (w *Writer) LabelUint(l Label, v uint64) {
+	w.buf = append(w.buf, l.prefix...)
+	w.buf = strconv.AppendUint(w.buf, v, 10)
+	w.buf = append(w.buf, '\n')
+}
+
+// Collector contributes one source's families to a scrape. Collect runs
+// under the exporter's mutex, so a collector may keep reusable snapshot
+// holders without its own locking; it must take its source's values through
+// a single snapshot call so the scrape is consistent (see the package doc).
+type Collector interface {
+	Collect(w *Writer)
+}
+
+// Exporter renders registered collectors as one Prometheus text exposition
+// and serves it over HTTP. Safe for concurrent scrapes (they serialize on
+// the exporter's mutex, sharing one render buffer).
+type Exporter struct {
+	mu sync.Mutex
+	w  Writer
+	cs []Collector
+}
+
+// NewExporter returns an empty exporter.
+func NewExporter() *Exporter { return &Exporter{} }
+
+// Register appends a collector. Not safe concurrently with scrapes —
+// register everything before serving.
+func (e *Exporter) Register(c Collector) { e.cs = append(e.cs, c) }
+
+// Render returns the current exposition. The returned slice is the
+// exporter's reusable buffer: valid until the next Render/WriteTo/ServeHTTP,
+// which is the point — steady-state scrapes allocate nothing. Concurrent
+// scrapers must not read the returned slice after another scrape may have
+// started; they use WriteTo (or HTTP), which copies out under the mutex.
+func (e *Exporter) Render() []byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.renderLocked()
+}
+
+// WriteTo renders the exposition and writes it to w while the mutex is
+// held, so the buffer cannot be re-rendered mid-write — the safe form for
+// concurrent scrapers. Implements io.WriterTo.
+func (e *Exporter) WriteTo(w io.Writer) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n, err := w.Write(e.renderLocked())
+	return int64(n), err
+}
+
+func (e *Exporter) renderLocked() []byte {
+	e.w.Reset()
+	for _, c := range e.cs {
+		c.Collect(&e.w)
+	}
+	return e.w.Bytes()
+}
+
+// ServeHTTP implements http.Handler: any GET renders the exposition. The
+// render buffer is written while the mutex is held, so concurrent scrapes
+// never interleave.
+func (e *Exporter) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	body := e.renderLocked()
+	rw.Header().Set("Content-Type", ContentType)
+	rw.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	_, _ = rw.Write(body)
+}
+
+// Serve serves the exporter at /metrics (and the bare exposition at /) on ln
+// until ctx is done or ln fails; it returns nil on graceful shutdown —
+// the same lifecycle contract as service.Serve, so baserve runs both under
+// one errgroup-less goroutine pair.
+func Serve(ctx context.Context, ln net.Listener, e *Exporter) error {
+	mux := http.NewServeMux()
+	mux.Handle("/", e)
+	mux.Handle("/metrics", e)
+	srv := &http.Server{Handler: mux}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { _ = srv.Close() })
+		defer stop()
+	}
+	err := srv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) || ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"testing"
 	"time"
 
@@ -114,12 +115,11 @@ func BenchmarkServiceWarmTCP(b *testing.B) {
 			tmpl := core.Config{Protocol: alg1.MultiProtocol{}, N: 7, T: 3, Seed: 99}
 			pool := service.NewWarmTCP(tmpl.N, netCfg)
 			cfg := service.Config{
-				Template:      tmpl,
-				Shards:        shards,
-				QueueDepth:    1024,
-				BatchSize:     1,
-				NewShardRun:   pool.NewShardRun,
-				CloseShardRun: pool.CloseShard,
+				Template:   tmpl,
+				Shards:     shards,
+				QueueDepth: 1024,
+				BatchSize:  1,
+				Substrate:  pool,
 			}
 			svc, err := service.New(ctx, cfg)
 			if err != nil {
@@ -222,4 +222,65 @@ func BenchmarkServiceSharded(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkServiceOpenLoop measures the serving pipeline under open-loop
+// (Poisson) load over the real wire: b.N arrivals at a fixed rate fan out
+// over a connection pool, rejections shed. The headline metrics are the
+// coordinated-omission-free latency percentiles — measured from each
+// arrival's scheduled time — and the shed fraction, the numbers `make slo`
+// gates on. Archived as BENCH_006.json by `make bench-ops`.
+func BenchmarkServiceOpenLoop(b *testing.B) {
+	const rate = 2000.0
+	ctx := context.Background()
+	svc, err := service.New(ctx, service.Config{
+		Template:   core.Config{Protocol: alg1.MultiProtocol{}, N: 7, T: 3, Seed: 99},
+		Shards:     4,
+		QueueDepth: 1024,
+		BatchMin:   1,
+		BatchMax:   16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveCtx, stopServe := context.WithCancel(ctx)
+	served := make(chan error, 1)
+	go func() { served <- service.Serve(serveCtx, ln, svc) }()
+	defer func() {
+		stopServe()
+		<-served
+		svc.Close()
+	}()
+
+	// Scale the arrival window so the schedule offers roughly b.N arrivals
+	// at the fixed rate (an open loop is defined by rate, not count).
+	duration := time.Duration(float64(b.N) / rate * float64(time.Second))
+	if duration < 50*time.Millisecond {
+		duration = 50 * time.Millisecond
+	}
+	b.ResetTimer()
+	stats, err := service.RunOpenLoad(ctx, service.OpenLoadConfig{
+		Addr:     ln.Addr().String(),
+		Conns:    32,
+		Rate:     rate,
+		Duration: duration,
+		Seed:     99,
+		ValueFor: func(i int) ident.Value { return ident.Value(i % 251) },
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if stats.Submitted == 0 {
+		b.Fatal("nothing submitted")
+	}
+	b.ReportMetric(float64(stats.Offered)/duration.Seconds(), "offered/s")
+	b.ReportMetric(stats.Throughput(), "values/s")
+	b.ReportMetric(float64(stats.Percentile(50))/1e6, "p50-ms")
+	b.ReportMetric(float64(stats.Percentile(99))/1e6, "p99-ms")
+	b.ReportMetric(float64(stats.Rejected)/float64(stats.Offered), "shed-frac")
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -65,16 +66,27 @@ func (c *Client) Submit(v ident.Value) (Reply, error) {
 	return parseReply(strings.TrimSpace(line))
 }
 
-// Stats fetches the server's one-line stats snapshot.
-func (c *Client) Stats() (string, error) {
+// Stats fetches the server's stats snapshot as a typed struct (the reply is
+// one line of JSON; see the wire protocol in server.go), so remote callers —
+// baload's SLO checks, the tests — compare counters instead of string-matching
+// the human-readable Stats.String line.
+func (c *Client) Stats() (Stats, error) {
 	if _, err := fmt.Fprintln(c.conn, "stats"); err != nil {
-		return "", err
+		return Stats{}, err
 	}
 	line, err := c.br.ReadString('\n')
 	if err != nil {
-		return "", err
+		return Stats{}, err
 	}
-	return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "STATS ")), nil
+	payload, ok := strings.CutPrefix(strings.TrimSpace(line), "STATS ")
+	if !ok {
+		return Stats{}, fmt.Errorf("service: malformed stats reply %q", strings.TrimSpace(line))
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(payload), &st); err != nil {
+		return Stats{}, fmt.Errorf("service: malformed stats reply %q: %w", payload, err)
+	}
+	return st, nil
 }
 
 func parseReply(line string) (Reply, error) {
@@ -136,10 +148,15 @@ type LoadConfig struct {
 	RetryWait time.Duration
 }
 
-// LoadStats aggregates a load run.
+// LoadStats aggregates a load run (closed loop: RunLoad; open loop:
+// RunOpenLoad).
 type LoadStats struct {
+	// Offered counts scheduled arrivals (open-loop runs only; 0 for
+	// closed-loop runs, where offered load is defined by completions).
+	Offered int
 	// Submitted counts successful submissions; Rejected counts
-	// ErrQueueFull rejections that were retried.
+	// ErrQueueFull rejections — retried in a closed loop, shed in an
+	// open loop.
 	Submitted int
 	Rejected  int
 	// Elapsed is the wall time of the whole run.

@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -18,13 +19,17 @@ import (
 // codec. One request per line:
 //
 //	<value>\n   submit the integer value, wait for its instance, reply
-//	stats\n     reply with a one-line Stats snapshot
+//	stats\n     reply with a Stats snapshot
 //
 // Replies:
 //
 //	OK <instance-id> <seed> <batch-size> <packed> <decided> <committed> <msgs-correct> <sigs-correct>\n
 //	ERR full\n | ERR draining\n | ERR <message>\n
-//	STATS <stats-line>\n
+//	STATS <stats-json>\n
+//
+// The stats reply is one line of JSON (the Stats struct), so Client.Stats
+// returns a typed snapshot and load generators (baload's SLO checks, the
+// tests) compare counters instead of string-matching a display line.
 //
 // The OK reply carries everything needed to re-execute the instance
 // serially (seed, packed value, and the template the operator already
@@ -80,7 +85,11 @@ func serveConn(ctx context.Context, conn net.Conn, svc *Service) {
 
 func handleLine(ctx context.Context, svc *Service, line string) string {
 	if strings.EqualFold(line, "stats") {
-		return "STATS " + svc.Stats().String()
+		b, err := json.Marshal(svc.Stats())
+		if err != nil {
+			return "ERR stats: " + err.Error()
+		}
+		return "STATS " + string(b)
 	}
 	v, err := strconv.ParseInt(line, 10, 64)
 	if err != nil {

@@ -211,12 +211,17 @@ func TestServeRejectsAndStats(t *testing.T) {
 	if _, err := probe.Submit(0); !errors.Is(err, service.ErrQueueFull) {
 		t.Fatalf("wire probe got %v, want ErrQueueFull", err)
 	}
-	line, err := probe.Stats()
+	// The wire stats are a typed snapshot: the probe's rejection above must
+	// already be visible in it, no string-matching required.
+	wireStats, err := probe.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if line == "" {
-		t.Fatal("empty stats line")
+	if wireStats.RejectedFull < 1 {
+		t.Fatalf("wire stats missed the probe's rejection: %+v", wireStats)
+	}
+	if wireStats.Shards != svc.Stats().Shards {
+		t.Fatalf("wire stats shards %d, want %d", wireStats.Shards, svc.Stats().Shards)
 	}
 
 	close(release)

@@ -82,17 +82,28 @@ type Config struct {
 	// favor of the service-level sink below.
 	Template core.Config
 	// Run executes one instance (default RunSim). Implementations must be
-	// safe for concurrent use from distinct shards.
+	// safe for concurrent use from distinct shards. Ignored when Substrate
+	// is set (a Substrate decides per shard what runs).
 	Run RunFunc
+	// Substrate, when set, supplies each shard worker its own substrate
+	// handle: Open(shard) is called once per shard at startup, and
+	// Close(shard) once per shard during Service.Close after every instance
+	// has been delivered. Use this for substrates that keep per-handle
+	// state (warm connection meshes, caches) — NewWarmTCP implements it —
+	// and SharedRun to adapt a plain RunFunc. When nil, every shard shares
+	// Run.
+	Substrate Substrate
 	// NewShardRun, when set, supplies each shard worker its own substrate
-	// handle at startup instead of sharing Run — for substrates that keep
-	// per-handle state (connection pools, caches). The handle is only ever
-	// called from its own shard, one instance at a time.
+	// handle at startup instead of sharing Run.
+	//
+	// Deprecated: set Substrate. The pair of function hooks survives one
+	// release as a shim (New adapts them internally); configuring both
+	// Substrate and either hook is an error.
 	NewShardRun func(shard int) RunFunc
 	// CloseShardRun, when set, releases the per-shard substrate handle
-	// created by NewShardRun (warm connection meshes, caches). The service
-	// calls it once per shard during Close, after every instance has been
-	// delivered, so the handle is guaranteed idle.
+	// created by NewShardRun.
+	//
+	// Deprecated: set Substrate (see NewShardRun).
 	CloseShardRun func(shard int)
 	// Shards is the number of identified shard workers executing instances
 	// concurrently; values below one select runtime.GOMAXPROCS(0).
@@ -203,7 +214,10 @@ type Stats struct {
 	Instances       uint64
 	InstancesFailed uint64
 	ValuesDecided   uint64
-	// QueueHighWater is the deepest the admission queue has been.
+	// QueueDepth is the admission queue's depth at snapshot time — the
+	// only live gauge in the struct; everything else is monotone or
+	// high-water. QueueHighWater is the deepest the queue has been.
+	QueueDepth     int
 	QueueHighWater int
 	// MessagesCorrect / SignaturesCorrect / BytesCorrect sum the
 	// per-instance metrics.Report counters over delivered instances — the
@@ -287,18 +301,19 @@ type shardState struct {
 // Service is the long-running serving layer. Construct with New; a Service
 // is safe for concurrent Submit from any number of goroutines.
 type Service struct {
-	cfg    Config
-	ctx    context.Context
-	queue  chan *request
-	exec   *runner.Shards[*dispatched, *completed]
-	shards []shardState
-	policy *batchController
-	sink   trace.Sink // serialized; nil when tracing is disabled
+	cfg       Config
+	ctx       context.Context
+	queue     chan *request
+	exec      *runner.Shards[*dispatched, *completed]
+	shards    []shardState
+	substrate Substrate
+	policy    *batchController
+	sink      trace.Sink // serialized; nil when tracing is disabled
 
 	draining    chan struct{} // closed by Close
 	drainOnce   sync.Once
 	batcherDone chan struct{}
-	releaseOnce sync.Once // runs CloseShardRun hooks exactly once
+	releaseOnce sync.Once // runs Substrate.Close per shard exactly once
 
 	mu           sync.Mutex
 	stats        Stats
@@ -318,6 +333,18 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 	}
 	if cfg.Run == nil {
 		cfg.Run = RunSim
+	}
+	if cfg.Substrate != nil && (cfg.NewShardRun != nil || cfg.CloseShardRun != nil) {
+		return nil, errors.New("service: both Substrate and the deprecated NewShardRun/CloseShardRun hooks set")
+	}
+	substrate := cfg.Substrate
+	if substrate == nil {
+		if cfg.NewShardRun != nil || cfg.CloseShardRun != nil {
+			// Deprecated-shim path: adapt the legacy hook pair.
+			substrate = hookSubstrate{open: cfg.NewShardRun, close: cfg.CloseShardRun, fallback: cfg.Run}
+		} else {
+			substrate = SharedRun(cfg.Run)
+		}
 	}
 	if cfg.QueueDepth < 1 {
 		cfg.QueueDepth = 64
@@ -354,6 +381,7 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 		cfg:         cfg,
 		ctx:         ctx,
 		queue:       make(chan *request, cfg.QueueDepth),
+		substrate:   substrate,
 		policy:      policy,
 		draining:    make(chan struct{}),
 		batcherDone: make(chan struct{}),
@@ -366,9 +394,9 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 	}
 	s.shards = make([]shardState, shards)
 	for i := range s.shards {
-		s.shards[i].run = cfg.Run
-		if cfg.NewShardRun != nil {
-			s.shards[i].run = cfg.NewShardRun(i)
+		s.shards[i].run = substrate.Open(i)
+		if s.shards[i].run == nil {
+			s.shards[i].run = cfg.Run
 		}
 		if s.sink != nil && cfg.TraceInstances {
 			s.shards[i].buf = trace.NewBuffer()
@@ -451,11 +479,25 @@ func (s *Service) reject(draining bool) {
 
 // Stats returns a snapshot of the counters.
 func (s *Service) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := s.stats
-	out.ShardInstances = append([]uint64(nil), s.stats.ShardInstances...)
+	var out Stats
+	s.StatsInto(&out)
 	return out
+}
+
+// StatsInto snapshots the counters into out, reusing out.ShardInstances'
+// storage: after the first call a fixed holder makes every subsequent
+// snapshot allocation-free — the metrics scrape path's contract. The whole
+// snapshot is taken under the service's single stats mutex, so a scrape
+// observes a consistent cut (e.g. Instances == sum of ShardInstances once
+// quiescent), exactly what an in-process Stats caller sees.
+func (s *Service) StatsInto(out *Stats) {
+	depth := len(s.queue)
+	shardInstances := out.ShardInstances
+	s.mu.Lock()
+	*out = s.stats
+	out.ShardInstances = append(shardInstances[:0], s.stats.ShardInstances...)
+	s.mu.Unlock()
+	out.QueueDepth = depth
 }
 
 // Close drains the service: admission stops (Submit returns ErrDraining),
@@ -466,13 +508,11 @@ func (s *Service) Close() {
 	s.drainOnce.Do(func() { close(s.draining) })
 	<-s.batcherDone
 	s.exec.Close()
-	if s.cfg.CloseShardRun != nil {
-		s.releaseOnce.Do(func() {
-			for i := range s.shards {
-				s.cfg.CloseShardRun(i)
-			}
-		})
-	}
+	s.releaseOnce.Do(func() {
+		for i := range s.shards {
+			s.substrate.Close(i)
+		}
+	})
 }
 
 // batcher is the single sequencer goroutine that forms batches and

@@ -343,7 +343,7 @@ func errSvc(s *service.Service, err error) (*service.Service, error) { return s,
 // shard and at 3 shards must yield identical decisions, metrics and a
 // byte-identical instance-scoped trace. This also exercises epoch reset —
 // every shard's mesh runs many instances back to back — and the service's
-// CloseShardRun teardown hook.
+// per-shard Substrate.Close teardown.
 func TestShardingDeterministicWarmTCP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real TCP meshes under -short")
@@ -353,13 +353,11 @@ func TestShardingDeterministicWarmTCP(t *testing.T) {
 	netCfg := transport.Net{PhaseTimeout: 10 * time.Second}
 
 	run := func(shards int) ([]service.Result, service.Stats, []trace.Event) {
-		pool := service.NewWarmTCP(tmpl.N, netCfg)
 		cfg := service.Config{
-			Template:      tmpl,
-			QueueDepth:    values,
-			Shards:        shards,
-			NewShardRun:   pool.NewShardRun,
-			CloseShardRun: pool.CloseShard,
+			Template:   tmpl,
+			QueueDepth: values,
+			Shards:     shards,
+			Substrate:  service.NewWarmTCP(tmpl.N, netCfg),
 		}
 		return runWorkload(t, cfg, values)
 	}

@@ -27,6 +27,57 @@ type Outcome struct {
 // existing substrates; tests inject failures through custom RunFuncs.
 type RunFunc func(ctx context.Context, cfg core.Config) (Outcome, error)
 
+// Substrate supplies each shard worker its execution handle — the single
+// interface behind Config.Substrate, replacing the paired
+// NewShardRun/CloseShardRun function hooks.
+//
+// Open is called once per shard at service construction and returns the
+// RunFunc that shard uses for every instance it executes; the service
+// guarantees the returned handle is only ever called from its own shard,
+// one instance at a time, so implementations may keep per-handle mutable
+// state (connection meshes, caches) without locking. Close is called once
+// per shard during Service.Close, after every instance has been delivered,
+// so the handle is guaranteed idle; implementations release whatever Open
+// acquired. Stateless substrates (the in-memory engine) make Close a no-op
+// — see SharedRun.
+type Substrate interface {
+	Open(shard int) RunFunc
+	Close(shard int)
+}
+
+// SharedRun adapts a single concurrency-safe RunFunc — the in-memory path
+// (RunSim), the cold per-instance mesh (RunTCP), or a test stub — into a
+// Substrate: every shard shares run, and Close is a no-op because a shared
+// stateless handle owns nothing per shard.
+func SharedRun(run RunFunc) Substrate { return sharedRun{run: run} }
+
+type sharedRun struct{ run RunFunc }
+
+func (s sharedRun) Open(int) RunFunc { return s.run }
+func (sharedRun) Close(int)          {}
+
+// hookSubstrate is the deprecated-shim adapter: it carries the legacy
+// Config.NewShardRun/CloseShardRun function hooks (either may be nil) and a
+// fallback RunFunc for shards the open hook does not cover.
+type hookSubstrate struct {
+	open     func(shard int) RunFunc
+	close    func(shard int)
+	fallback RunFunc
+}
+
+func (h hookSubstrate) Open(shard int) RunFunc {
+	if h.open != nil {
+		return h.open(shard)
+	}
+	return h.fallback
+}
+
+func (h hookSubstrate) Close(shard int) {
+	if h.close != nil {
+		h.close(shard)
+	}
+}
+
 // RunSim executes the instance on the in-memory synchronous engine — the
 // substrate behind `basim -transport memory` and the default for a Service.
 func RunSim(ctx context.Context, cfg core.Config) (Outcome, error) {
@@ -53,11 +104,9 @@ func RunTCP(netCfg transport.Net) RunFunc {
 // WarmTCP is a per-shard pool of warm transport meshes: each shard dials its
 // n×(n-1) localhost mesh once (lazily, on its first instance) and reuses it
 // for every subsequent instance, paying only the per-epoch frame traffic.
-// Wire it into a service with NewShardRun/CloseShard:
+// It implements Substrate, so wiring it into a service is one assignment:
 //
-//	pool := service.NewWarmTCP(n, netCfg)
-//	cfg.NewShardRun = pool.NewShardRun
-//	cfg.CloseShardRun = pool.CloseShard
+//	cfg.Substrate = service.NewWarmTCP(n, netCfg)
 //
 // A mesh is built for one cluster size; instances with a different N fall
 // back to a cold per-instance mesh rather than failing.
@@ -74,11 +123,11 @@ func NewWarmTCP(n int, netCfg transport.Net) *WarmTCP {
 	return &WarmTCP{n: n, netCfg: netCfg, meshes: make(map[int]*transport.Mesh)}
 }
 
-// NewShardRun returns the RunFunc for one shard. The shard's mesh is dialed
-// on its first instance and owned exclusively by that shard, so Run never
-// contends on a mesh (the service guarantees one instance per shard at a
-// time).
-func (p *WarmTCP) NewShardRun(shard int) RunFunc {
+// Open returns the RunFunc for one shard (Substrate). The shard's mesh is
+// dialed on its first instance and owned exclusively by that shard, so Run
+// never contends on a mesh (the service guarantees one instance per shard
+// at a time).
+func (p *WarmTCP) Open(shard int) RunFunc {
 	return func(ctx context.Context, cfg core.Config) (Outcome, error) {
 		if cfg.N != p.n {
 			return RunTCP(p.netCfg)(ctx, cfg)
@@ -109,9 +158,10 @@ func (p *WarmTCP) mesh(ctx context.Context, shard int) (*transport.Mesh, error) 
 	return m, nil
 }
 
-// CloseShard tears down one shard's mesh; the service calls it from Close
-// once the shard is idle. A shard that never ran an instance has no mesh.
-func (p *WarmTCP) CloseShard(shard int) {
+// Close tears down one shard's mesh (Substrate); the service calls it from
+// Service.Close once the shard is idle. A shard that never ran an instance
+// has no mesh.
+func (p *WarmTCP) Close(shard int) {
 	p.mu.Lock()
 	m := p.meshes[shard]
 	delete(p.meshes, shard)
@@ -121,9 +171,9 @@ func (p *WarmTCP) CloseShard(shard int) {
 	}
 }
 
-// Close tears down every remaining mesh, for callers that bypass the
-// service's CloseShardRun hook.
-func (p *WarmTCP) Close() {
+// CloseAll tears down every remaining mesh, for callers that drive the pool
+// outside a Service (which closes shard by shard).
+func (p *WarmTCP) CloseAll() {
 	p.mu.Lock()
 	meshes := p.meshes
 	p.meshes = make(map[int]*transport.Mesh)

@@ -1,0 +1,145 @@
+package service_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/service"
+)
+
+// countingSubstrate records which shards were opened and closed, delegating
+// execution to the in-memory engine.
+type countingSubstrate struct {
+	mu     sync.Mutex
+	opened []int
+	closed []int
+}
+
+func (c *countingSubstrate) Open(shard int) service.RunFunc {
+	c.mu.Lock()
+	c.opened = append(c.opened, shard)
+	c.mu.Unlock()
+	return service.RunSim
+}
+
+func (c *countingSubstrate) Close(shard int) {
+	c.mu.Lock()
+	c.closed = append(c.closed, shard)
+	c.mu.Unlock()
+}
+
+// TestSubstrateLifecycle pins the Substrate contract: Open is called once
+// per shard at construction, Close once per shard during Service.Close
+// (idempotently — a second Close must not re-close shards).
+func TestSubstrateLifecycle(t *testing.T) {
+	sub := &countingSubstrate{}
+	svc, err := service.New(context.Background(), service.Config{
+		Template:  multiTemplate(3),
+		Shards:    3,
+		Substrate: sub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sub.opened); got != 3 {
+		t.Fatalf("opened %d shards at construction, want 3", got)
+	}
+	if res, err := svc.SubmitWait(context.Background(), 7); err != nil || res.Decided != 7 {
+		t.Fatalf("submit through substrate: %v (decided %v)", err, res.Decided)
+	}
+	svc.Close()
+	svc.Close() // idempotent
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if len(sub.closed) != 3 {
+		t.Fatalf("closed %d shards, want 3 (exactly once each): %v", len(sub.closed), sub.closed)
+	}
+	seen := map[int]bool{}
+	for _, sh := range sub.closed {
+		if seen[sh] {
+			t.Fatalf("shard %d closed twice: %v", sh, sub.closed)
+		}
+		seen[sh] = true
+	}
+}
+
+// TestDeprecatedShardHooks is the one remaining caller of the legacy
+// Config.NewShardRun/CloseShardRun pair: the shim must keep the old hook
+// semantics — per-shard handles at startup, per-shard teardown on Close —
+// for one release while callers migrate to Config.Substrate.
+func TestDeprecatedShardHooks(t *testing.T) {
+	var mu sync.Mutex
+	opened, closed := []int{}, []int{}
+	svc, err := service.New(context.Background(), service.Config{
+		Template: multiTemplate(5),
+		Shards:   2,
+		NewShardRun: func(shard int) service.RunFunc {
+			mu.Lock()
+			opened = append(opened, shard)
+			mu.Unlock()
+			return service.RunSim
+		},
+		CloseShardRun: func(shard int) {
+			mu.Lock()
+			closed = append(closed, shard)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := svc.SubmitWait(context.Background(), 9); err != nil || res.Decided != 9 {
+		t.Fatalf("submit through deprecated hooks: %v (decided %v)", err, res.Decided)
+	}
+	svc.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(opened) != 2 || len(closed) != 2 {
+		t.Fatalf("hooks fired opened=%v closed=%v, want 2 shards each", opened, closed)
+	}
+}
+
+// TestDeprecatedCloseHookAlone pins the half-configured legacy shape:
+// CloseShardRun without NewShardRun must still fire (shards fall back to
+// Run), matching the old Config semantics.
+func TestDeprecatedCloseHookAlone(t *testing.T) {
+	var mu sync.Mutex
+	closed := 0
+	svc, err := service.New(context.Background(), service.Config{
+		Template: multiTemplate(7),
+		Shards:   2,
+		Run: func(ctx context.Context, cfg core.Config) (service.Outcome, error) {
+			return service.RunSim(ctx, cfg)
+		},
+		CloseShardRun: func(int) { mu.Lock(); closed++; mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.SubmitWait(context.Background(), ident.Value(1)); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if closed != 2 {
+		t.Fatalf("CloseShardRun fired %d times, want 2", closed)
+	}
+}
+
+// TestSubstrateHookConflict rejects configs that set both the new interface
+// and the deprecated hooks — silently preferring one would hide a migration
+// bug.
+func TestSubstrateHookConflict(t *testing.T) {
+	_, err := service.New(context.Background(), service.Config{
+		Template:    multiTemplate(1),
+		Substrate:   service.SharedRun(service.RunSim),
+		NewShardRun: func(int) service.RunFunc { return service.RunSim },
+	})
+	if err == nil {
+		t.Fatal("Substrate + deprecated NewShardRun accepted")
+	}
+}

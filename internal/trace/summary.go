@@ -76,75 +76,83 @@ type Summary struct {
 func Summarize(events []Event) *Summary {
 	s := &Summary{}
 	for _, e := range events {
-		s.Events++
-		ph := e.Phase
-		if ph < 0 {
-			ph = 0
-		}
-		for len(s.PerPhase) <= ph {
-			s.PerPhase = append(s.PerPhase, PhaseSummary{})
-		}
-		pp := &s.PerPhase[ph]
-		switch e.Kind {
-		case KindSend:
-			if e.Flag {
-				pp.MessagesFaulty++
-				pp.SignaturesFaulty += e.Sigs
-			} else {
-				pp.MessagesCorrect++
-				pp.SignaturesCorrect += e.Sigs
-				pp.DistinctSigners += e.Signers
-				pp.BytesCorrect += e.Bytes
-			}
-		case KindOmit:
-			pp.Omitted++
-		case KindDeliver:
-			pp.Delivered++
-		case KindRush:
-			pp.Rushed += e.Sigs
-		case KindVerifyHit:
-			s.VerifyHits += e.Sigs
-		case KindVerifyMiss:
-			s.VerifyMisses += e.Sigs
-		case KindCorrupt:
-			s.Corrupted++
-		case KindDecide:
-			if e.Flag {
-				s.Decided++
-			} else {
-				s.Undecided++
-			}
-		case KindEnqueue:
-			s.Enqueued++
-		case KindReject:
-			s.Rejected++
-		case KindInstanceStart:
-			s.InstancesStarted++
-		case KindInstanceDone:
-			s.InstancesDone++
-			s.ValuesDecided += e.Sigs
-		case KindBatchAdapt:
-			if e.Flag {
-				s.BatchGrows++
-			} else {
-				s.BatchShrinks++
-			}
-			if e.Sigs > s.BatchTargetPeak {
-				s.BatchTargetPeak = e.Sigs
-			}
-		case KindFaultDrop:
-			s.FaultDrops++
-		case KindFaultDelay:
-			s.FaultDelays++
-		case KindFaultDup:
-			s.FaultDups++
-		case KindFaultReorder:
-			s.FaultReorders++
-		case KindFaultCrash:
-			s.FaultCrashes++
-		}
+		s.Add(e)
 	}
 	return s
+}
+
+// Add folds one event into the summary — the incremental form of Summarize,
+// used by live aggregators (Spool) that cannot afford to retain the event
+// stream. Summarize(events) is exactly a fresh Summary with every event
+// Added in order.
+func (s *Summary) Add(e Event) {
+	s.Events++
+	ph := e.Phase
+	if ph < 0 {
+		ph = 0
+	}
+	for len(s.PerPhase) <= ph {
+		s.PerPhase = append(s.PerPhase, PhaseSummary{})
+	}
+	pp := &s.PerPhase[ph]
+	switch e.Kind {
+	case KindSend:
+		if e.Flag {
+			pp.MessagesFaulty++
+			pp.SignaturesFaulty += e.Sigs
+		} else {
+			pp.MessagesCorrect++
+			pp.SignaturesCorrect += e.Sigs
+			pp.DistinctSigners += e.Signers
+			pp.BytesCorrect += e.Bytes
+		}
+	case KindOmit:
+		pp.Omitted++
+	case KindDeliver:
+		pp.Delivered++
+	case KindRush:
+		pp.Rushed += e.Sigs
+	case KindVerifyHit:
+		s.VerifyHits += e.Sigs
+	case KindVerifyMiss:
+		s.VerifyMisses += e.Sigs
+	case KindCorrupt:
+		s.Corrupted++
+	case KindDecide:
+		if e.Flag {
+			s.Decided++
+		} else {
+			s.Undecided++
+		}
+	case KindEnqueue:
+		s.Enqueued++
+	case KindReject:
+		s.Rejected++
+	case KindInstanceStart:
+		s.InstancesStarted++
+	case KindInstanceDone:
+		s.InstancesDone++
+		s.ValuesDecided += e.Sigs
+	case KindBatchAdapt:
+		if e.Flag {
+			s.BatchGrows++
+		} else {
+			s.BatchShrinks++
+		}
+		if e.Sigs > s.BatchTargetPeak {
+			s.BatchTargetPeak = e.Sigs
+		}
+	case KindFaultDrop:
+		s.FaultDrops++
+	case KindFaultDelay:
+		s.FaultDelays++
+	case KindFaultDup:
+		s.FaultDups++
+	case KindFaultReorder:
+		s.FaultReorders++
+	case KindFaultCrash:
+		s.FaultCrashes++
+	}
 }
 
 // Totals sums the per-phase counters.

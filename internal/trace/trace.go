@@ -109,6 +109,10 @@ const (
 	KindBatchAdapt
 )
 
+// NumKinds bounds the Kind space: valid kinds are 1 <= k < NumKinds. Fixed
+// per-kind counter arrays (Spool, the metrics exporter) are sized by it.
+const NumKinds = int(KindBatchAdapt) + 1
+
 // kindNames maps kinds to their wire names (see jsonl.go).
 var kindNames = map[Kind]string{
 	KindCorrupt:       "corrupt",
@@ -270,6 +274,17 @@ func (r *Ring) Events() []Event {
 
 // Dropped returns how many events were overwritten.
 func (r *Ring) Dropped() int { return r.dropped }
+
+// Len returns how many events the ring currently retains.
+func (r *Ring) Len() int {
+	if r.wrapped {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Cap returns the ring's fixed capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
 
 // ctxKey keys the sink carried by a context.
 type ctxKey struct{}
