@@ -18,18 +18,31 @@
 #                      server must meet a generous p99 (part of check)
 #   make bench-ops   - ops-plane benchmarks (open-loop latency, zero-alloc
 #                      metrics scrape); archives BENCH_006.json
+#   make bench-journal - durability benchmarks (fsync policies, recovery scan,
+#                      segment rotation); archives BENCH_007.json
+#   make crash       - crash-recovery drill: SIGKILL a journaled server
+#                      mid-load, restart it, verify replay (part of check)
 #   make fuzz        - run every fuzz target on a short fixed budget
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check lint test bench bench-trace bench-service bench-transport bench-ops baexp trace-smoke faults slo fuzz
+.PHONY: check lint test bench bench-trace bench-service bench-transport bench-ops bench-journal baexp trace-smoke faults slo crash fuzz
 
 check: lint faults
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race -count=1 ./internal/service/ ./internal/runner/ ./internal/transport/ ./internal/obs/
+	$(GO) test -race -count=1 ./internal/service/ ./internal/runner/ ./internal/transport/ ./internal/obs/ ./internal/journal/
+	$(MAKE) crash
 	$(MAKE) slo
+
+# The durability gate: a journaled server is SIGKILLed mid-load (a forked
+# child process — an in-process drain can never tear a write), then restarted
+# over the same journal directory. The drill asserts the recovered watermark
+# clears every journaled id, every pending admission replays byte-identically
+# (trace-pinned), and live traffic resumes with fresh ids past the watermark.
+crash:
+	$(GO) test -race -count=1 ./cmd/baserve/ -run 'TestServeCrashRecovery'
 
 # The serving SLO gate: a short open-loop run (Poisson arrivals, latency
 # measured from each scheduled arrival, rejections shed) against a
@@ -113,6 +126,15 @@ bench-ops:
 	{ $(GO) test -bench 'BenchmarkServiceOpenLoop' -benchtime=4000x -benchmem -run '^$$' ./internal/service/ ; \
 	  $(GO) test -bench 'BenchmarkMetricsScrape' -benchtime=20000x -benchmem -run '^$$' ./internal/obs/ ; } \
 	| /tmp/benchjson -label current > BENCH_006.json
+
+# The durability numbers (BENCH_007): the fsync trade-off (per-record sync
+# versus group commit, with syncs/op reported so the realized commit batch is
+# visible), the recovery scan over a 10k-record journal, and segment-size
+# sensitivity of the append path.
+bench-journal:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -bench 'BenchmarkJournal' -benchtime=200x -benchmem -run '^$$' ./internal/journal/ \
+	| /tmp/benchjson -label current > BENCH_007.json
 
 # Short fixed-budget fuzzing of every decoder that touches attacker-supplied
 # bytes: the wire codec (seeded from captured real-run envelopes) and the

@@ -111,10 +111,30 @@ func run(args []string, stdout, stderr *os.File) int {
 				}
 			}()
 		}
+		jw, rec, err := sf.OpenJournal(tmpl)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if jw != nil {
+			svcCfg.Journal = jw
+			svcCfg.FirstInstance = rec.FirstInstance()
+			svcCfg.BaseStats = rec.BaseStats()
+		}
 		hosted, err = service.New(ctx, svcCfg)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
+		}
+		if jw != nil {
+			replayed, err := rec.Replay(hosted, tmpl)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			jw.SetReplayed(uint64(replayed))
+			fmt.Fprintf(stdout, "journal: %s fsync=%s watermark=%d replayed=%d\n",
+				*sf.JournalDir, *sf.Fsync, rec.Watermark, replayed)
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -127,12 +147,20 @@ func run(args []string, stdout, stderr *os.File) int {
 			cancel()
 			<-served
 			hosted.Close()
+			if jw != nil {
+				if err := jw.Close(); err != nil {
+					fmt.Fprintln(stderr, err)
+				}
+			}
 		}()
 		if *sf.MetricsAddr != "" {
 			exp := obs.NewExporter()
 			exp.Register(obs.NewServiceCollector(hosted))
 			if spool != nil {
 				exp.Register(obs.NewSpoolCollector(spool))
+			}
+			if jw != nil {
+				exp.Register(obs.NewJournalCollector(jw))
 			}
 			mln, err := net.Listen("tcp", *sf.MetricsAddr)
 			if err != nil {

@@ -22,8 +22,16 @@
 // admission-scoped events held in a bounded ring (-trace-ring), so tracing
 // survives sustained load with constant memory.
 //
+// Durability: -journal-dir write-ahead journals every admission before it
+// is acknowledged (-fsync picks per-record sync or a group-commit
+// interval). On restart over the same directory, pending admissions are
+// replayed byte-identically with their original ids before the listener
+// opens — a recovered server never reuses an instance seed — and the
+// recovery banner reports the watermark and replay count.
+//
 // SIGINT/SIGTERM drains: admitted values still decide, new submissions are
-// rejected with "ERR draining", and the process exits once the queue is
+// rejected with "ERR draining", the journal checkpoints (watermark +
+// stats, old segments pruned), and the process exits once the queue is
 // empty.
 package main
 
@@ -76,6 +84,15 @@ func run(args []string, stdout, stderr *os.File) int {
 	if spool != nil {
 		svcCfg.Trace = spool
 	}
+	jw, rec, err := sf.OpenJournal(tmpl)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if jw != nil {
+		svcCfg.Journal = jw
+		svcCfg.FirstInstance = rec.FirstInstance()
+		svcCfg.BaseStats = rec.BaseStats()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -83,6 +100,19 @@ func run(args []string, stdout, stderr *os.File) int {
 	svc, err := service.New(ctx, svcCfg)
 	if err != nil {
 		return fail(stderr, err)
+	}
+
+	// Recovery happens before the listener opens: pending admissions are
+	// re-executed with their original ids (byte-identical instances) while
+	// no live submission can interleave with the replay's dispatch path.
+	if jw != nil {
+		replayed, err := rec.Replay(svc, tmpl)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		jw.SetReplayed(uint64(replayed))
+		fmt.Fprintf(stdout, "journal: %s fsync=%s watermark=%d replayed=%d\n",
+			*sf.JournalDir, *sf.Fsync, rec.Watermark, replayed)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -99,6 +129,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		exp.Register(obs.NewServiceCollector(svc))
 		if spool != nil {
 			exp.Register(obs.NewSpoolCollector(spool))
+		}
+		if jw != nil {
+			exp.Register(obs.NewJournalCollector(jw))
 		}
 		mln, err := net.Listen("tcp", *sf.MetricsAddr)
 		if err != nil {
@@ -123,6 +156,15 @@ func run(args []string, stdout, stderr *os.File) int {
 	svc.Close()
 	if metricsDone != nil {
 		if err := <-metricsDone; err != nil {
+			return fail(stderr, err)
+		}
+	}
+
+	if jw != nil {
+		// The service checkpointed during Close (and swallowed any error to
+		// finish the drain); the writer's Close surfaces the journal's true
+		// final state.
+		if err := jw.Close(); err != nil {
 			return fail(stderr, err)
 		}
 	}

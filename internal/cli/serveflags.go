@@ -9,9 +9,11 @@ import (
 	"time"
 
 	"byzex/internal/core"
+	"byzex/internal/journal"
 	"byzex/internal/service"
 	"byzex/internal/trace"
 	"byzex/internal/transport"
+	"byzex/internal/wire"
 )
 
 // ServeFlags is the serving flag surface shared by baserve and baload's
@@ -51,6 +53,13 @@ type ServeFlags struct {
 	MetricsAddr *string
 	TracePath   *string
 	TraceRing   *int
+
+	// Durability flags.
+	JournalDir *string
+	Fsync      *string
+
+	// Wire flags.
+	WireVersion *int
 }
 
 // RegisterServeFlags declares the shared serving surface on fs and returns
@@ -83,6 +92,11 @@ func RegisterServeFlags(fs *flag.FlagSet) *ServeFlags {
 	sf.MetricsAddr = fs.String("metrics-addr", "", "serve Prometheus text metrics on this address (e.g. 127.0.0.1:9441); empty = off")
 	sf.TracePath = fs.String("trace", "", "spool the service execution trace (JSONL) to this file; instance events flush at delivery")
 	sf.TraceRing = fs.Int("trace-ring", 4096, "with -trace: admission-scoped events retained (older ones are dropped and counted)")
+
+	sf.JournalDir = fs.String("journal-dir", "", "write-ahead journal directory; admissions are journaled before execution and replayed on restart; empty = no durability")
+	sf.Fsync = fs.String("fsync", "always", `journal sync policy: "always" (sync every admission) or a group-commit interval like "2ms"`)
+
+	sf.WireVersion = fs.Int("wire-version", 0, "with -transport tcp: frame version to emit (0 = current; receivers accept the whole compatibility window)")
 	return sf
 }
 
@@ -112,7 +126,12 @@ func (sf *ServeFlags) ServiceConfig(tmpl core.Config) (service.Config, error) {
 			return cfg, errors.New("-warm-mesh requires -transport tcp")
 		}
 	case "tcp":
-		netCfg := transport.Net{LinkDelay: *sf.LinkDelay}
+		netCfg := transport.Net{LinkDelay: *sf.LinkDelay, WireVersion: byte(*sf.WireVersion)}
+		if netCfg.WireVersion != 0 {
+			if err := wire.CheckFrameVersion(netCfg.WireVersion); err != nil {
+				return cfg, err
+			}
+		}
 		if *sf.WarmMesh {
 			cfg.Substrate = service.NewWarmTCP(tmpl.N, netCfg)
 		} else {
@@ -120,6 +139,9 @@ func (sf *ServeFlags) ServiceConfig(tmpl core.Config) (service.Config, error) {
 		}
 	default:
 		return cfg, fmt.Errorf("unknown transport %q", *sf.Transport)
+	}
+	if *sf.WireVersion != 0 && *sf.Transport != "tcp" {
+		return cfg, errors.New("-wire-version requires -transport tcp")
 	}
 	if *sf.Adaptive {
 		bmax := *sf.BatchMax
@@ -132,6 +154,22 @@ func (sf *ServeFlags) ServiceConfig(tmpl core.Config) (service.Config, error) {
 		cfg.BatchMin, cfg.BatchMax = *sf.BatchMin, bmax
 	}
 	return cfg, nil
+}
+
+// OpenJournal opens the -journal-dir write-ahead journal over the resolved
+// template. It returns (nil, nil, nil) when -journal-dir is unset; otherwise
+// the caller wires the writer into service.Config.Journal, seeds
+// FirstInstance/BaseStats from the recovery, replays rec.Pending before
+// taking live traffic, and closes the writer after the service drains.
+func (sf *ServeFlags) OpenJournal(tmpl core.Config) (*journal.Writer, *journal.Recovery, error) {
+	if *sf.JournalDir == "" {
+		return nil, nil, nil
+	}
+	fsync, err := journal.ParseFsync(*sf.Fsync)
+	if err != nil {
+		return nil, nil, err
+	}
+	return journal.Open(*sf.JournalDir, journal.Options{Template: tmpl, Fsync: fsync})
 }
 
 // OpenSpool creates the -trace spool over its output file. It returns

@@ -26,6 +26,7 @@ package faultnet
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"byzex/internal/ident"
 )
@@ -234,6 +235,61 @@ func MustCompile(spec Spec, seed int64) *Plan {
 // Empty reports whether the plan injects nothing.
 func (p *Plan) Empty() bool {
 	return p == nil || (len(p.rules) == 0 && len(p.crash) == 0)
+}
+
+// Digest returns a stable 64-bit fingerprint of the compiled plan: the seed
+// plus every rule field in spec order (FNV-64a). Two plans with equal digests
+// inject the identical schedule, so a journaled digest is enough to verify at
+// recovery that a replayed admission re-executes under the same faults it was
+// admitted with. A nil plan (no injection) digests to 0.
+func (p *Plan) Digest() uint64 {
+	if p == nil {
+		return 0
+	}
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(p.seed))
+	mix(uint64(len(p.rules)))
+	for i := range p.rules {
+		r := &p.rules[i]
+		mix(uint64(r.Kind))
+		mix(uint64(r.From))
+		mix(uint64(r.To))
+		mix(uint64(r.First))
+		mix(uint64(r.Last))
+		mix(math.Float64bits(r.Prob))
+		mix(uint64(r.Delay))
+		mix(uint64(r.Proc))
+		mix(uint64(r.AtPhase))
+		for _, id := range r.GroupA.Sorted() {
+			mix(uint64(id) + 1)
+		}
+		mix(0) // group separator
+		for _, id := range r.GroupB.Sorted() {
+			mix(uint64(id) + 1)
+		}
+	}
+	// Crash rules land in p.crash, not p.rules; fold them in sorted order so
+	// map iteration never perturbs the digest.
+	crashed := make(ident.Set, len(p.crash))
+	for id := range p.crash {
+		crashed.Add(id)
+	}
+	for _, id := range crashed.Sorted() {
+		mix(uint64(id))
+		mix(uint64(p.crash[id]))
+	}
+	return h
 }
 
 // FrameAction resolves the plan's verdict for the frame sent by from to to

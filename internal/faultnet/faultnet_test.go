@@ -251,3 +251,29 @@ func TestExpectedCounters(t *testing.T) {
 		t.Errorf("crash at phase 9 counted in a 3-phase run: %+v", c)
 	}
 }
+
+// TestPlanDigest pins the fingerprint the journal stores per admission: nil
+// digests to 0, equal plans digest equal, and any change to the seed, a
+// rule, or a crash schedule moves the digest.
+func TestPlanDigest(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Digest() != 0 {
+		t.Fatal("nil plan digest not 0")
+	}
+	const spec = "crash=1@2;drop=0->2@1-2/0.5;partition=0,1|2,3@2"
+	a, b := MustParse(spec, 7), MustParse(spec, 7)
+	if a.Digest() != b.Digest() || a.Digest() == 0 {
+		t.Fatalf("equal plans digest %#x vs %#x", a.Digest(), b.Digest())
+	}
+	for name, other := range map[string]*Plan{
+		"seed":      MustParse(spec, 8),
+		"prob":      MustParse("crash=1@2;drop=0->2@1-2/0.6;partition=0,1|2,3@2", 7),
+		"crash":     MustParse("crash=1@3;drop=0->2@1-2/0.5;partition=0,1|2,3@2", 7),
+		"group":     MustParse("crash=1@2;drop=0->2@1-2/0.5;partition=0,1|2,4@2", 7),
+		"rule-gone": MustParse("crash=1@2;drop=0->2@1-2/0.5", 7),
+	} {
+		if other.Digest() == a.Digest() {
+			t.Errorf("%s change kept digest %#x", name, a.Digest())
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package journal_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"byzex/internal/ident"
+	"byzex/internal/journal"
+	"byzex/internal/service"
+)
+
+// benchAdmit journals one synthetic admission without test plumbing.
+func benchAdmit(b *testing.B, w *journal.Writer, id uint64) {
+	inst := service.Instance{ID: id, Values: []ident.Value{ident.Value(id % 2)}}
+	if err := w.Admit(inst); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkJournalAppend measures admissions/s under the two durability
+// policies. fsync=always pays one sync per record — the floor a safe-by-
+// default journal imposes; group commit amortizes the sync over an interval,
+// and the gap between the two rows is the price of the zero-loss window
+// (BENCH_007).
+func BenchmarkJournalAppend(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		fsync time.Duration
+	}{
+		{"fsync=always", 0},
+		{"fsync=2ms", 2 * time.Millisecond},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			w, _, err := journal.Open(b.TempDir(), journal.Options{
+				Template: template(7), Fsync: bc.fsync,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = w.Close() }()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchAdmit(b, w, uint64(i))
+			}
+			b.StopTimer()
+			s := w.Stats()
+			b.ReportMetric(float64(s.Syncs)/float64(b.N), "syncs/op")
+		})
+	}
+}
+
+// BenchmarkJournalRecover measures the scan side: rebuilding the watermark
+// and pending set from a 10k-admission journal (the recovery-replay budget
+// for a crashed server is dominated by instance re-execution, not this scan,
+// and the row proves it).
+func BenchmarkJournalRecover(b *testing.B) {
+	const records = 10_000
+	dir := b.TempDir()
+	w, _, err := journal.Open(dir, journal.Options{
+		Template: template(7), Fsync: 100 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < records; i++ {
+		benchAdmit(b, w, uint64(i))
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := journal.Recover(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rec.Pending) != records {
+			b.Fatalf("recovered %d of %d", len(rec.Pending), records)
+		}
+	}
+}
+
+// BenchmarkJournalSegments pins scan cost against segment fragmentation:
+// the same 10k admissions spread over many small segments versus few large
+// ones.
+func BenchmarkJournalSegments(b *testing.B) {
+	const records = 10_000
+	for _, segBytes := range []int64{16 << 10, 4 << 20} {
+		b.Run(fmt.Sprintf("seg=%dKiB", segBytes>>10), func(b *testing.B) {
+			dir := b.TempDir()
+			w, _, err := journal.Open(dir, journal.Options{
+				Template: template(7), Fsync: 100 * time.Millisecond, SegmentBytes: segBytes,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < records; i++ {
+				benchAdmit(b, w, uint64(i))
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := journal.Recover(dir); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,434 @@
+// Package journal is the durability layer under the serving stack: a
+// segmented, CRC-framed write-ahead log of admissions plus checkpoint
+// records, and the recovery path that turns a journal directory back into a
+// running service after a crash.
+//
+// The write path implements service.Journal: the service's sequencer calls
+// Admit before an instance is handed to a shard, so every instance that ever
+// executes has a durable record first (write-ahead, not write-behind), and
+// Checkpoint once during drain, marking every earlier admission delivered.
+// Because the service derives each instance entirely from (template, id,
+// values) — seed = template seed + id, packed value = PackValues(values) —
+// an admission record is the complete recipe for re-executing its instance
+// byte-identically; the journal never needs to store outcomes.
+//
+// On disk a journal is a directory of numbered segment files. Each segment
+// opens with an 8-byte magic and holds length-prefixed records framed with a
+// CRC-32C: a torn tail (the crash case) is detected by checksum and cut at
+// the last whole record; corruption anywhere *before* the tail is refused
+// loudly (ErrCorrupt) instead of silently replaying a damaged history. Every
+// boot starts a fresh segment, so only the final segment of a generation can
+// ever be torn. A checkpoint makes every older segment garbage — recovery
+// needs only admissions at or above the checkpoint watermark, and those are
+// always in the checkpoint's own segment or later — so Checkpoint prunes
+// them, bounding directory growth by one generation of traffic.
+//
+// Durability is a knob, not a policy: Fsync 0 syncs every record before
+// Admit returns (an admitted value survives any crash), a positive Fsync
+// groups commits on that interval (bounded loss window, an order of
+// magnitude more admissions per second — BENCH_007 quantifies the gap).
+// Checkpoints always sync regardless of the knob.
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"byzex/internal/core"
+	"byzex/internal/service"
+	"byzex/internal/wire"
+)
+
+// Typed failures callers program against.
+var (
+	// ErrCorrupt reports a journal whose non-tail contents fail validation
+	// (bad magic, bad CRC before the last record, unknown record kind, a gap
+	// in the admission id sequence). Recovery refuses to guess.
+	ErrCorrupt = errors.New("journal: corrupt journal")
+	// ErrClosed rejects writes through a closed Writer.
+	ErrClosed = errors.New("journal: writer closed")
+	// ErrMismatch reports a replay attempted under a different template or
+	// fault plan than the journal was written with — re-executing would not
+	// reproduce the original instances, so recovery stops.
+	ErrMismatch = errors.New("journal: journal does not match the serving configuration")
+)
+
+// segMagic opens every segment file: "BXJL" plus a format version. Bump the
+// version byte on any incompatible record-layout change.
+var segMagic = [8]byte{'B', 'X', 'J', 'L', 0, 0, 0, 1}
+
+const (
+	// DefaultSegmentBytes rotates segments at 4 MiB.
+	DefaultSegmentBytes = 4 << 20
+	// minSegmentBytes keeps rotation sane under test-sized configs.
+	minSegmentBytes = 512
+)
+
+// Options parameterizes Open.
+type Options struct {
+	// Template is the per-instance run template the owning service uses.
+	// The journal stores only its fingerprint (TemplateHash) and the fault
+	// plan's digest; both are re-verified before any replay.
+	Template core.Config
+	// Fsync is the group-commit interval: 0 syncs every record before Admit
+	// returns; a positive duration batches syncs on that cadence, trading a
+	// bounded loss window for throughput. Checkpoints always sync.
+	Fsync time.Duration
+	// SegmentBytes rotates to a new segment once the current one reaches
+	// this size (default DefaultSegmentBytes, minimum 512).
+	SegmentBytes int64
+}
+
+// ParseFsync parses the -fsync flag surface: "always" means sync every
+// record (0), anything else must be a positive Go duration giving the
+// group-commit interval.
+func ParseFsync(s string) (time.Duration, error) {
+	if s == "" || s == "always" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("journal: bad fsync policy %q: %v", s, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("journal: fsync interval %v must be positive (or \"always\")", d)
+	}
+	return d, nil
+}
+
+// FsyncString renders a policy the way ParseFsync accepts it.
+func FsyncString(d time.Duration) string {
+	if d == 0 {
+		return "always"
+	}
+	return d.String()
+}
+
+// Stats is a snapshot of the writer's counters, exported on /metrics by
+// obs.JournalCollector.
+type Stats struct {
+	// Records / Checkpoints count appended records by kind; Bytes is the
+	// total framed bytes written (headers included).
+	Records     uint64
+	Checkpoints uint64
+	Bytes       uint64
+	// Syncs counts fsync calls; under group commit, Records/Syncs is the
+	// realized commit batch size.
+	Syncs uint64
+	// Segments is the live segment-file count; Pruned counts segment files
+	// deleted by checkpoints over the writer's lifetime.
+	Segments uint64
+	Pruned   uint64
+	// Replayed counts instances re-executed from this journal at the last
+	// recovery (set once by the recovery path, then constant).
+	Replayed uint64
+}
+
+// TemplateHash returns a stable 64-bit fingerprint of the run-template
+// fields that determine instance execution: protocol identity, system size
+// and fault bound, transmitter, base seed, and the concrete types of the
+// signature scheme and adversary. Value is excluded (it is replaced per
+// batch) and the fault plan is fingerprinted separately (faultnet's
+// Plan.Digest), so a journal can distinguish "different template" from
+// "different fault scenario" at recovery.
+func TemplateHash(cfg core.Config) uint64 {
+	h := fnv.New64a()
+	name := ""
+	if cfg.Protocol != nil {
+		name = cfg.Protocol.Name()
+	}
+	fmt.Fprintf(h, "%s|%d|%d|%d|%d|%T|%T",
+		name, cfg.N, cfg.T, cfg.Transmitter, cfg.Seed, cfg.Scheme, cfg.Adversary)
+	return h.Sum64()
+}
+
+// Writer is the append side of a journal: it implements service.Journal, so
+// wiring durability into a service is one assignment (Config.Journal).
+// Admit and Checkpoint are called from the service's single sequencer /
+// close path, but Writer serializes internally anyway so a flusher goroutine
+// (group commit) can share the file safely.
+type Writer struct {
+	dir      string
+	opts     Options
+	tmplHash uint64
+	digest   uint64
+
+	mu      sync.Mutex
+	f       *os.File
+	seg     uint64 // current segment index
+	segSize int64  // bytes written to the current segment
+	pending []byte // buffered frames awaiting flush (group commit)
+	enc     *wire.Writer
+	stats   Stats
+	err     error // sticky: first write/sync failure poisons the writer
+	closed  bool
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// Open scans dir (creating it if needed), recovers its state, and starts a
+// fresh segment for this generation's appends. The returned Recovery holds
+// the watermark, the checkpointed stats and the pending admissions the
+// caller must replay (see Recovery.Replay) before serving live traffic; the
+// returned Writer is ready to be handed to service.Config.Journal.
+func Open(dir string, opts Options) (*Writer, *Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %v", err)
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SegmentBytes < minSegmentBytes {
+		opts.SegmentBytes = minSegmentBytes
+	}
+	rec, err := scan(dir, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &Writer{
+		dir:      dir,
+		opts:     opts,
+		tmplHash: TemplateHash(opts.Template),
+		digest:   opts.Template.Faults.Digest(),
+		enc:      wire.NewWriter(256),
+	}
+	w.stats.Segments = uint64(len(rec.segments))
+	if err := w.rotate(rec.nextSegment()); err != nil {
+		return nil, nil, err
+	}
+	if opts.Fsync > 0 {
+		w.flushStop = make(chan struct{})
+		w.flushDone = make(chan struct{})
+		go w.flushLoop(opts.Fsync)
+	}
+	return w, rec, nil
+}
+
+// rotate closes the current segment (flushing and syncing it) and opens the
+// segment numbered seg. Callers hold mu or own the writer exclusively.
+func (w *Writer) rotate(seg uint64) error {
+	if w.f != nil {
+		if err := w.flushLocked(true); err != nil {
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	name := filepath.Join(w.dir, segmentName(seg))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		w.err = err
+		return fmt.Errorf("journal: %v", err)
+	}
+	if _, err := f.Write(segMagic[:]); err != nil {
+		w.err = err
+		_ = f.Close()
+		return fmt.Errorf("journal: %v", err)
+	}
+	w.f = f
+	w.seg = seg
+	w.segSize = int64(len(segMagic))
+	w.stats.Segments++
+	w.stats.Bytes += uint64(len(segMagic))
+	return nil
+}
+
+// Admit journals one admission (service.Journal). Under Fsync 0 the record
+// is on disk when Admit returns; under group commit it is buffered and the
+// flusher syncs it within one interval. An error vetoes the instance — the
+// service fails the batch instead of running work a crash would lose.
+func (w *Writer) Admit(inst service.Instance) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.err != nil {
+		return w.err
+	}
+	encodeAdmission(w.enc, Admission{
+		ID:           inst.ID,
+		TemplateHash: w.tmplHash,
+		FaultDigest:  w.digest,
+		Values:       inst.Values,
+	})
+	if err := w.append(w.enc.Bytes()); err != nil {
+		return err
+	}
+	w.stats.Records++
+	if w.opts.Fsync == 0 {
+		return w.flushLocked(true)
+	}
+	return nil
+}
+
+// Checkpoint journals a drain marker (service.Journal), syncs it, and
+// prunes every segment older than the current one — recovery only ever
+// needs admissions at or above the watermark, and those live at or after
+// the checkpoint record.
+func (w *Writer) Checkpoint(watermark uint64, stats service.Stats) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.err != nil {
+		return w.err
+	}
+	encodeCheckpoint(w.enc, Checkpoint{Watermark: watermark, Stats: stats})
+	if err := w.append(w.enc.Bytes()); err != nil {
+		return err
+	}
+	if err := w.flushLocked(true); err != nil {
+		return err
+	}
+	w.stats.Checkpoints++
+	w.pruneLocked()
+	return nil
+}
+
+// append frames body into the pending buffer, rotating first if the current
+// segment is full. Callers hold mu.
+func (w *Writer) append(body []byte) error {
+	need := int64(8 + len(body))
+	if w.segSize+int64(len(w.pending))+need > w.opts.SegmentBytes && w.segSize > int64(len(segMagic)) {
+		if err := w.rotate(w.seg + 1); err != nil {
+			return err
+		}
+	}
+	w.pending = appendRecord(w.pending, body)
+	return nil
+}
+
+// flushLocked writes the pending buffer to the current segment and, when
+// sync is set, fsyncs it. Callers hold mu.
+func (w *Writer) flushLocked(sync bool) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.pending) > 0 {
+		n, err := w.f.Write(w.pending)
+		w.segSize += int64(n)
+		w.stats.Bytes += uint64(n)
+		if err != nil {
+			w.err = err
+			return err
+		}
+		w.pending = w.pending[:0]
+	}
+	if sync {
+		if err := w.f.Sync(); err != nil {
+			w.err = err
+			return err
+		}
+		w.stats.Syncs++
+	}
+	return nil
+}
+
+// flushLoop is the group-commit flusher: one fsync per interval covering
+// every record buffered since the last.
+func (w *Writer) flushLoop(interval time.Duration) {
+	defer close(w.flushDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.flushStop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed && len(w.pending) > 0 {
+				_ = w.flushLocked(true) // sticky w.err surfaces on the next Admit/Close
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// pruneLocked deletes every segment file older than the current one.
+// Callers hold mu; errors are ignored (a leftover segment is re-pruned at
+// the next checkpoint and is harmless to recovery).
+func (w *Writer) pruneLocked() {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return
+	}
+	for _, s := range segs {
+		if s < w.seg {
+			if os.Remove(filepath.Join(w.dir, segmentName(s))) == nil {
+				w.stats.Pruned++
+				if w.stats.Segments > 0 {
+					w.stats.Segments--
+				}
+			}
+		}
+	}
+}
+
+// SetReplayed records the recovery replay count on the stats surface.
+func (w *Writer) SetReplayed(n uint64) {
+	w.mu.Lock()
+	w.stats.Replayed = n
+	w.mu.Unlock()
+}
+
+// Stats returns a snapshot of the writer's counters.
+func (w *Writer) Stats() Stats {
+	var s Stats
+	w.StatsInto(&s)
+	return s
+}
+
+// StatsInto snapshots the counters into out without allocating.
+func (w *Writer) StatsInto(out *Stats) {
+	w.mu.Lock()
+	*out = w.stats
+	w.mu.Unlock()
+}
+
+// Err returns the writer's sticky error, nil while healthy. The service
+// swallows Checkpoint errors during drain (delivery must finish); callers
+// check Err (or Close) to learn the journal's true final state.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close flushes, syncs and closes the current segment. Safe to call twice.
+// The returned error is the sticky write/sync error if any occurred over the
+// writer's lifetime.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.closed = true
+	ferr := w.flushLocked(true)
+	if w.f != nil {
+		if cerr := w.f.Close(); cerr != nil && w.err == nil {
+			w.err = cerr
+		}
+	}
+	stop := w.flushStop
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-w.flushDone
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return w.Err()
+}

@@ -1,0 +1,268 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"byzex/internal/core"
+	"byzex/internal/service"
+)
+
+// Recovery is the scanned state of a journal directory: the admission
+// watermark the next service must start from, the last checkpoint (if any),
+// and the pending admissions — journaled but not covered by a checkpoint —
+// that must be re-executed before the server takes live traffic.
+type Recovery struct {
+	// Watermark is the next instance id the journal has ever seen implied:
+	// max(checkpoint watermark, highest journaled admission id + 1). A
+	// recovered service must never assign an id below it, or it would reuse
+	// a seed.
+	Watermark uint64
+	// Checkpoint is the last checkpoint record, nil on a journal that never
+	// drained cleanly.
+	Checkpoint *Checkpoint
+	// Pending are the admissions at or above the checkpoint watermark, in
+	// instance-id order — the in-flight work a crash interrupted. Ids are
+	// dense: Pending[i].ID == Pending[0].ID + i.
+	Pending []Admission
+	// Records counts every valid record scanned; Segments the segment files.
+	Records  int
+	Segments int
+	// TruncatedBytes is the torn tail cut from the final segment (0 on a
+	// clean journal). Recover (read-only) counts but does not cut it.
+	TruncatedBytes int64
+
+	segments []uint64 // sorted segment indexes present at scan time
+}
+
+// Recover scans dir read-only: same validation as Open, but a torn tail is
+// only measured, never truncated, and no new segment is created. Use it for
+// inspection (the crash drills assert watermarks with it) or to examine a
+// journal before committing to a recovery.
+func Recover(dir string) (*Recovery, error) {
+	return scan(dir, false)
+}
+
+// FirstInstance is the value for service.Config.FirstInstance: the first
+// pending id when there is pending work (replay re-assigns exactly the
+// original ids), otherwise the watermark.
+func (r *Recovery) FirstInstance() uint64 {
+	if len(r.Pending) > 0 {
+		return r.Pending[0].ID
+	}
+	return r.Watermark
+}
+
+// BaseStats is the value for service.Config.BaseStats: the checkpointed
+// counter snapshot, or nil for a journal with no checkpoint.
+func (r *Recovery) BaseStats() *service.Stats {
+	if r.Checkpoint == nil {
+		return nil
+	}
+	s := r.Checkpoint.Stats
+	return &s
+}
+
+// Replay re-executes every pending admission through svc, in id order, and
+// returns the count of instances replayed. svc must have been constructed
+// with FirstInstance = r.FirstInstance() and must not yet be receiving live
+// Submit traffic (the service's dispatch path is single-producer; baserve
+// replays before opening its listener). tmpl is the live serving template —
+// replay refuses (ErrMismatch) if the journal was written under a different
+// template or fault plan, because re-execution would not reproduce the
+// original instances.
+//
+// Replay waits for every replayed instance to be delivered before
+// returning, so a successful return means the recovered work is resolved
+// and journaled again (each replayed admission re-admits through the
+// service's journal hook with its original id). Instance-level failures are
+// not replay errors: a deterministic instance that failed before the crash
+// fails identically on replay, and that is the faithful outcome.
+func (r *Recovery) Replay(svc *service.Service, tmpl core.Config) (int, error) {
+	if len(r.Pending) == 0 {
+		return 0, nil
+	}
+	wantTmpl := TemplateHash(tmpl)
+	wantFaults := tmpl.Faults.Digest()
+	for _, a := range r.Pending {
+		if a.TemplateHash != wantTmpl {
+			return 0, fmt.Errorf("%w: admission %d written under template %#x, serving %#x",
+				ErrMismatch, a.ID, a.TemplateHash, wantTmpl)
+		}
+		if a.FaultDigest != wantFaults {
+			return 0, fmt.Errorf("%w: admission %d written under fault plan %#x, serving %#x",
+				ErrMismatch, a.ID, a.FaultDigest, wantFaults)
+		}
+	}
+	type flight struct {
+		ch <-chan service.Result
+		n  int
+	}
+	flights := make([]flight, 0, len(r.Pending))
+	for _, a := range r.Pending {
+		ch, err := svc.Replay(a.Values)
+		if err != nil {
+			return 0, fmt.Errorf("journal: replay of admission %d: %w", a.ID, err)
+		}
+		flights = append(flights, flight{ch: ch, n: len(a.Values)})
+	}
+	for _, f := range flights {
+		for i := 0; i < f.n; i++ {
+			<-f.ch
+		}
+	}
+	return len(flights), nil
+}
+
+// segmentName renders the zero-padded file name of segment i.
+func segmentName(i uint64) string { return fmt.Sprintf("%08d.jrnl", i) }
+
+// listSegments returns the sorted segment indexes present in dir.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %v", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var i uint64
+		if n, err := fmt.Sscanf(e.Name(), "%08d.jrnl", &i); n == 1 && err == nil && e.Name() == segmentName(i) {
+			segs = append(segs, i)
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a] < segs[b] })
+	return segs, nil
+}
+
+// nextSegment is the index Open's fresh segment takes.
+func (r *Recovery) nextSegment() uint64 {
+	if len(r.segments) == 0 {
+		return 1
+	}
+	return r.segments[len(r.segments)-1] + 1
+}
+
+// scan walks every segment in order, validating magic and per-record CRCs.
+// Admissions dedupe by id (last record wins — replays re-journal the same
+// ids) and the last checkpoint wins. A torn tail — a partial record at the
+// end of the *final* segment — is expected after a crash: with repair set
+// (Open) the file is truncated to the last whole record, read-only
+// (Recover) it is merely counted. The same damage anywhere else is
+// ErrCorrupt: only one generation's tail can legally be torn, because every
+// generation starts a fresh segment.
+func scan(dir string, repair bool) (*Recovery, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recovery{segments: segs, Segments: len(segs)}
+	admissions := make(map[uint64]Admission)
+	for si, seg := range segs {
+		last := si == len(segs)-1
+		path := filepath.Join(dir, segmentName(seg))
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("journal: %v", err)
+		}
+		if len(buf) < len(segMagic) || [8]byte(buf[:8]) != segMagic {
+			if last && len(buf) < len(segMagic) {
+				// Crash while creating the segment: nothing was journaled.
+				if err := tearAt(path, buf, 0, repair, rec); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, fmt.Errorf("%w: segment %s: bad magic", ErrCorrupt, segmentName(seg))
+		}
+		off := int64(len(segMagic))
+		for off < int64(len(buf)) {
+			if int64(len(buf))-off < 8 {
+				if err := tearAt(path, buf, off, repair && last, rec); err != nil {
+					return nil, err
+				}
+				if !last {
+					return nil, fmt.Errorf("%w: segment %s: torn record header before the final segment", ErrCorrupt, segmentName(seg))
+				}
+				break
+			}
+			bl := int64(binary.BigEndian.Uint32(buf[off : off+4]))
+			sum := binary.BigEndian.Uint32(buf[off+4 : off+8])
+			if off+8+bl > int64(len(buf)) {
+				if err := tearAt(path, buf, off, repair && last, rec); err != nil {
+					return nil, err
+				}
+				if !last {
+					return nil, fmt.Errorf("%w: segment %s: torn record body before the final segment", ErrCorrupt, segmentName(seg))
+				}
+				break
+			}
+			body := buf[off+8 : off+8+bl]
+			if crc32.Checksum(body, castagnoli) != sum {
+				// A checksum failure at the very tail is a torn write; any
+				// earlier is silent corruption we refuse to replay around.
+				if last && off+8+bl == int64(len(buf)) {
+					if err := tearAt(path, buf, off, repair, rec); err != nil {
+						return nil, err
+					}
+					break
+				}
+				return nil, fmt.Errorf("%w: segment %s: bad CRC at offset %d", ErrCorrupt, segmentName(seg), off)
+			}
+			kind, adm, ckpt, err := decodeRecord(body)
+			if err != nil {
+				return nil, fmt.Errorf("segment %s offset %d: %w", segmentName(seg), off, err)
+			}
+			switch kind {
+			case recAdmission:
+				admissions[adm.ID] = adm
+			case recCheckpoint:
+				c := ckpt
+				rec.Checkpoint = &c
+			}
+			rec.Records++
+			off += 8 + bl
+		}
+	}
+
+	var ckptWatermark uint64
+	if rec.Checkpoint != nil {
+		ckptWatermark = rec.Checkpoint.Watermark
+	}
+	rec.Watermark = ckptWatermark
+	for id, a := range admissions {
+		if id+1 > rec.Watermark {
+			rec.Watermark = id + 1
+		}
+		if id >= ckptWatermark {
+			rec.Pending = append(rec.Pending, a)
+		}
+	}
+	sort.Slice(rec.Pending, func(a, b int) bool { return rec.Pending[a].ID < rec.Pending[b].ID })
+	for i, a := range rec.Pending {
+		if a.ID != rec.Pending[0].ID+uint64(i) {
+			return nil, fmt.Errorf("%w: admission id gap: %d follows %d", ErrCorrupt, a.ID, rec.Pending[i-1].ID)
+		}
+	}
+	return rec, nil
+}
+
+// tearAt handles a torn tail detected at offset off of the segment at path:
+// counts the damage and, when repair is set, truncates the file back to the
+// last whole record.
+func tearAt(path string, buf []byte, off int64, repair bool, rec *Recovery) error {
+	rec.TruncatedBytes += int64(len(buf)) - off
+	if !repair {
+		return nil
+	}
+	if err := os.Truncate(path, off); err != nil {
+		return fmt.Errorf("journal: truncating torn tail of %s: %v", path, err)
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"strconv"
 
+	"byzex/internal/journal"
 	"byzex/internal/service"
 	"byzex/internal/trace"
 )
@@ -95,6 +96,50 @@ func (c *ServiceCollector) Collect(w *Writer) {
 	w.Int(dBatchTarget, int64(st.BatchTarget))
 	w.Uint(dBatchGrows, st.BatchGrows)
 	w.Uint(dBatchShrinks, st.BatchShrinks)
+}
+
+// The journal families. All monotone except the live segment count.
+var (
+	dJournalRecords = NewDesc("byzex_journal_records_total", "counter",
+		"Admission records appended to the write-ahead journal.")
+	dJournalCheckpoints = NewDesc("byzex_journal_checkpoints_total", "counter",
+		"Checkpoint records appended to the journal.")
+	dJournalBytes = NewDesc("byzex_journal_bytes_total", "counter",
+		"Framed bytes written to journal segments (headers included).")
+	dJournalSyncs = NewDesc("byzex_journal_syncs_total", "counter",
+		"Journal fsync calls; records/syncs is the realized group-commit batch size.")
+	dJournalSegments = NewDesc("byzex_journal_segments", "gauge",
+		"Live journal segment files.")
+	dJournalPruned = NewDesc("byzex_journal_pruned_segments_total", "counter",
+		"Journal segment files deleted by checkpoints.")
+	dJournalReplayed = NewDesc("byzex_journal_replayed_total", "counter",
+		"Instances re-executed from the journal at the last recovery.")
+)
+
+// JournalCollector exports a journal writer's Stats. Same shape as the
+// service collector: one cached snapshot per scrape, allocation-free in
+// steady state.
+type JournalCollector struct {
+	w     *journal.Writer
+	stats journal.Stats
+}
+
+// NewJournalCollector returns a collector over w.
+func NewJournalCollector(w *journal.Writer) *JournalCollector {
+	return &JournalCollector{w: w}
+}
+
+// Collect implements Collector: one StatsInto snapshot, then appends.
+func (c *JournalCollector) Collect(w *Writer) {
+	c.w.StatsInto(&c.stats)
+	st := &c.stats
+	w.Uint(dJournalRecords, st.Records)
+	w.Uint(dJournalCheckpoints, st.Checkpoints)
+	w.Uint(dJournalBytes, st.Bytes)
+	w.Uint(dJournalSyncs, st.Syncs)
+	w.Uint(dJournalSegments, st.Segments)
+	w.Uint(dJournalPruned, st.Pruned)
+	w.Uint(dJournalReplayed, st.Replayed)
 }
 
 // The trace families. Per-kind event counts use the wire names batrace

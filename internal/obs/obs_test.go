@@ -14,6 +14,7 @@ import (
 
 	"byzex/internal/core"
 	"byzex/internal/ident"
+	"byzex/internal/journal"
 	"byzex/internal/obs"
 	"byzex/internal/protocols/alg1"
 	"byzex/internal/service"
@@ -321,5 +322,71 @@ func TestDescValidation(t *testing.T) {
 	got := parseExposition(t, string(w.Bytes()))
 	if got[`byzex_escape_test{k="va\"l\nue\\"}`] != 3 {
 		t.Fatalf("escaped sample not found: %q", w.Bytes())
+	}
+}
+
+// TestJournalScrape pins the durability plane on /metrics: a journaled
+// service's scrape must expose the writer's record/checkpoint/sync/segment
+// counters, equal to the journal's own Stats — the collector is a view over
+// journal.Writer, never a second bookkeeper.
+func TestJournalScrape(t *testing.T) {
+	jw, rec, err := journal.Open(t.TempDir(), journal.Options{Template: template(17)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, _, exp := newObservedService(t, service.Config{
+		Template:      template(17),
+		Journal:       jw,
+		FirstInstance: rec.FirstInstance(),
+		MaxInFlight:   4,
+		QueueDepth:    16,
+	}, 8)
+	exp.Register(obs.NewJournalCollector(jw))
+	jw.SetReplayed(0)
+
+	const values = 10
+	var wg sync.WaitGroup
+	for i := 0; i < values; i++ {
+		ch, err := svc.Submit(ident.Value(i % 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); <-ch }()
+	}
+	wg.Wait()
+	svc.Close()
+	if err := jw.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := parseExposition(t, string(exp.Render()))
+	js := jw.Stats()
+	if js.Records != values || js.Checkpoints != 1 {
+		t.Fatalf("writer stats %+v", js)
+	}
+	for sample, want := range map[string]float64{
+		"byzex_journal_records_total":         float64(js.Records),
+		"byzex_journal_checkpoints_total":     float64(js.Checkpoints),
+		"byzex_journal_bytes_total":           float64(js.Bytes),
+		"byzex_journal_syncs_total":           float64(js.Syncs),
+		"byzex_journal_segments":              float64(js.Segments),
+		"byzex_journal_pruned_segments_total": float64(js.Pruned),
+		"byzex_journal_replayed_total":        0,
+	} {
+		v, ok := got[sample]
+		if !ok {
+			t.Fatalf("exposition missing %s", sample)
+		}
+		if v != want {
+			t.Errorf("%s = %v, want %v", sample, v, want)
+		}
+	}
+	if got["byzex_journal_records_total"] != got["byzex_service_submitted_total"] {
+		t.Errorf("journal records %v != submitted %v (singleton batches)",
+			got["byzex_journal_records_total"], got["byzex_service_submitted_total"])
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -93,18 +93,26 @@ type Config struct {
 	// and SharedRun to adapt a plain RunFunc. When nil, every shard shares
 	// Run.
 	Substrate Substrate
-	// NewShardRun, when set, supplies each shard worker its own substrate
-	// handle at startup instead of sharing Run.
-	//
-	// Deprecated: set Substrate. The pair of function hooks survives one
-	// release as a shim (New adapts them internally); configuring both
-	// Substrate and either hook is an error.
-	NewShardRun func(shard int) RunFunc
-	// CloseShardRun, when set, releases the per-shard substrate handle
-	// created by NewShardRun.
-	//
-	// Deprecated: set Substrate (see NewShardRun).
-	CloseShardRun func(shard int)
+	// Journal, when set, receives every admission before its instance is
+	// handed to a shard (Admit, called from the single sequencer goroutine,
+	// so records land in instance-id order) and one checkpoint during Close
+	// after the last delivery (Checkpoint). An Admit error fails the batch
+	// instead of running it: an instance the journal did not capture must
+	// never execute, or a crash would lose it. The journal package
+	// implements this.
+	Journal Journal
+	// FirstInstance seeds the instance-id sequencer. A recovered service
+	// sets it to the journal's watermark so a restarted server never reuses
+	// an instance id — and therefore never reuses a seed
+	// (seed = Template.Seed + id). Zero starts fresh.
+	FirstInstance uint64
+	// BaseStats, when set, seeds the monotone counters (submissions,
+	// instances, values, message/signature/byte sums, latency aggregates,
+	// batch moves, queue high-water) from a recovered checkpoint so the
+	// stats surface spans restarts. Live gauges (queue depth, shard
+	// instances, batch target) always start fresh; after a recovery,
+	// Instances therefore no longer equals the sum of ShardInstances.
+	BaseStats *Stats
 	// Shards is the number of identified shard workers executing instances
 	// concurrently; values below one select runtime.GOMAXPROCS(0).
 	Shards int
@@ -268,6 +276,16 @@ func (s Stats) String() string {
 		s.AmortizedMessagesPerValue(), s.AmortizedSignaturesPerValue())
 }
 
+// Journal is the durability hook a Service writes through: Admit persists
+// one admission before its instance runs (called from the single sequencer
+// goroutine, in instance-id order), and Checkpoint persists the admission
+// watermark plus a stats snapshot when the service drains. Implementations
+// decide the sync policy; an Admit error vetoes the instance.
+type Journal interface {
+	Admit(inst Instance) error
+	Checkpoint(watermark uint64, stats Stats) error
+}
+
 // request is one queued submission.
 type request struct {
 	value ident.Value
@@ -277,8 +295,9 @@ type request struct {
 
 // dispatched is one formed instance on its way to a shard worker.
 type dispatched struct {
-	inst Instance
-	reqs []*request
+	inst   Instance
+	reqs   []*request
+	replay bool // re-submitted from the journal during recovery
 }
 
 // completed pairs an instance outcome with the requests it resolves, so the
@@ -288,6 +307,7 @@ type completed struct {
 	reqs   []*request
 	events []trace.Event // per-instance trace (nil unless TraceInstances)
 	runDur time.Duration // substrate execution time, feeds the controller
+	replay bool
 }
 
 // shardState is the per-worker state pinned to one shard: its substrate
@@ -310,10 +330,11 @@ type Service struct {
 	policy    *batchController
 	sink      trace.Sink // serialized; nil when tracing is disabled
 
-	draining    chan struct{} // closed by Close
-	drainOnce   sync.Once
-	batcherDone chan struct{}
-	releaseOnce sync.Once // runs Substrate.Close per shard exactly once
+	draining       chan struct{} // closed by Close
+	drainOnce      sync.Once
+	batcherDone    chan struct{}
+	checkpointOnce sync.Once // writes the drain checkpoint exactly once
+	releaseOnce    sync.Once // runs Substrate.Close per shard exactly once
 
 	mu           sync.Mutex
 	stats        Stats
@@ -334,17 +355,9 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 	if cfg.Run == nil {
 		cfg.Run = RunSim
 	}
-	if cfg.Substrate != nil && (cfg.NewShardRun != nil || cfg.CloseShardRun != nil) {
-		return nil, errors.New("service: both Substrate and the deprecated NewShardRun/CloseShardRun hooks set")
-	}
 	substrate := cfg.Substrate
 	if substrate == nil {
-		if cfg.NewShardRun != nil || cfg.CloseShardRun != nil {
-			// Deprecated-shim path: adapt the legacy hook pair.
-			substrate = hookSubstrate{open: cfg.NewShardRun, close: cfg.CloseShardRun, fallback: cfg.Run}
-		} else {
-			substrate = SharedRun(cfg.Run)
-		}
+		substrate = SharedRun(cfg.Run)
 	}
 	if cfg.QueueDepth < 1 {
 		cfg.QueueDepth = 64
@@ -385,6 +398,27 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 		policy:      policy,
 		draining:    make(chan struct{}),
 		batcherDone: make(chan struct{}),
+	}
+	s.nextInstance = cfg.FirstInstance
+	if cfg.BaseStats != nil {
+		// Carry the monotone counters across the restart; the live gauges
+		// (queue depth, per-shard instance counts, batch target) describe
+		// this process and start fresh.
+		b := cfg.BaseStats
+		s.stats.Submitted = b.Submitted
+		s.stats.RejectedFull = b.RejectedFull
+		s.stats.RejectedDraining = b.RejectedDraining
+		s.stats.Instances = b.Instances
+		s.stats.InstancesFailed = b.InstancesFailed
+		s.stats.ValuesDecided = b.ValuesDecided
+		s.stats.QueueHighWater = b.QueueHighWater
+		s.stats.MessagesCorrect = b.MessagesCorrect
+		s.stats.SignaturesCorrect = b.SignaturesCorrect
+		s.stats.BytesCorrect = b.BytesCorrect
+		s.stats.MaxLatency = b.MaxLatency
+		s.stats.TotalLatency = b.TotalLatency
+		s.stats.BatchGrows = b.BatchGrows
+		s.stats.BatchShrinks = b.BatchShrinks
 	}
 	s.stats.Shards = shards
 	s.stats.ShardInstances = make([]uint64, shards)
@@ -502,12 +536,32 @@ func (s *Service) StatsInto(out *Stats) {
 
 // Close drains the service: admission stops (Submit returns ErrDraining),
 // every already-admitted value is still batched and dispatched, and Close
-// returns once all instances have been delivered. Idempotent and safe to
-// call concurrently; also triggered by cancellation of New's context.
+// returns once all instances have been delivered. When a Journal is
+// configured, a checkpoint (admission watermark + final stats) is written
+// after the last delivery, so a clean shutdown leaves nothing to replay; a
+// checkpoint failure is swallowed here — the journal keeps it and reports it
+// when the journal itself is closed — because the drain must still complete.
+// Idempotent and safe to call concurrently; also triggered by cancellation
+// of New's context.
 func (s *Service) Close() {
 	s.drainOnce.Do(func() { close(s.draining) })
 	<-s.batcherDone
 	s.exec.Close()
+	if s.cfg.Journal != nil {
+		s.checkpointOnce.Do(func() {
+			s.mu.Lock()
+			watermark := s.nextInstance
+			instances := s.stats.Instances
+			s.mu.Unlock()
+			_ = s.cfg.Journal.Checkpoint(watermark, s.Stats())
+			if s.sink != nil {
+				s.sink.Emit(trace.Event{
+					Kind: trace.KindCheckpoint, From: ident.None, To: ident.None,
+					Signers: int(watermark), Sigs: int(instances),
+				})
+			}
+		})
+	}
 	s.releaseOnce.Do(func() {
 		for i := range s.shards {
 			s.substrate.Close(i)
@@ -530,13 +584,13 @@ func (s *Service) batcher() {
 			for {
 				select {
 				case req := <-s.queue:
-					s.dispatch(s.fill(req, false))
+					s.dispatch(s.fill(req, false), false)
 				default:
 					return
 				}
 			}
 		}
-		s.dispatch(s.fill(first, true))
+		s.dispatch(s.fill(first, true), false)
 	}
 }
 
@@ -600,10 +654,14 @@ func (s *Service) plan(queued int) (size int, linger time.Duration) {
 	return dec.size, dec.linger
 }
 
-// dispatch assigns the next instance id, resolves the template and hands the
-// instance to the shard pool; Submit blocks when every shard is busy, which
-// is what lets the admission queue fill and reject — bounded end to end.
-func (s *Service) dispatch(batch []*request) {
+// dispatch assigns the next instance id, resolves the template, journals the
+// admission and hands the instance to the shard pool; Submit blocks when
+// every shard is busy, which is what lets the admission queue fill and
+// reject — bounded end to end. The journal write happens before exec.Submit:
+// an instance the journal did not capture never runs, so a crash at any
+// point either lost the admission before it executed (the client saw no
+// result) or journaled it (recovery replays it).
+func (s *Service) dispatch(batch []*request, replay bool) uint64 {
 	s.mu.Lock()
 	id := s.nextInstance
 	s.nextInstance++
@@ -621,11 +679,53 @@ func (s *Service) dispatch(batch []*request) {
 	cfg.Trace = nil
 
 	inst := Instance{ID: id, Config: cfg, Values: values}
-	if _, err := s.exec.Submit(&dispatched{inst: inst, reqs: batch}); err != nil {
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.Admit(inst); err != nil {
+			s.fail(batch, inst, err)
+			return id
+		}
+	}
+	if _, err := s.exec.Submit(&dispatched{inst: inst, reqs: batch, replay: replay}); err != nil {
 		// Only possible after exec.Close, which Close orders strictly after
 		// the batcher exits — keep the requests from hanging anyway.
 		s.fail(batch, inst, err)
 	}
+	return id
+}
+
+// Replay re-submits one journaled admission — the batch's original values,
+// in their original order — through the normal dispatch path: the instance
+// gets the next sequential id, is journaled again (which is what makes
+// checkpoint pruning and a second crash during recovery safe), runs on a
+// shard and is delivered in order. Because recovery seeds FirstInstance with
+// the journal watermark and replays pending admissions in id order, each
+// replayed instance reruns under its original id and seed, byte-identically.
+//
+// Replay must only be called before live Submit traffic starts (the journal
+// recovery path in cmd/baserve runs it before the listener opens): it shares
+// the single-producer dispatch path with the sequencer, which is idle while
+// the admission queue is empty. One Result per value is delivered on the
+// returned channel (buffered to the batch size).
+func (s *Service) Replay(values []ident.Value) (<-chan Result, error) {
+	select {
+	case <-s.draining:
+		return nil, ErrDraining
+	default:
+	}
+	if len(values) == 0 {
+		return nil, errors.New("service: replay of an empty batch")
+	}
+	ch := make(chan Result, len(values))
+	batch := make([]*request, len(values))
+	now := time.Now()
+	for i, v := range values {
+		batch[i] = &request{value: v, enq: now, ch: ch}
+	}
+	s.mu.Lock()
+	s.stats.Submitted += uint64(len(values))
+	s.mu.Unlock()
+	s.dispatch(batch, true)
+	return ch, nil
 }
 
 // runOnShard executes one instance on its shard's substrate handle and
@@ -640,7 +740,7 @@ func (s *Service) runOnShard(shard int, d *dispatched) *completed {
 	res := &InstanceResult{Instance: d.inst, Shard: shard}
 	start := time.Now()
 	out, err := st.run(s.ctx, cfg)
-	c := &completed{inst: res, reqs: d.reqs, runDur: time.Since(start)}
+	c := &completed{inst: res, reqs: d.reqs, runDur: time.Since(start), replay: d.replay}
 	if st.buf != nil {
 		// Snapshot the shard buffer: delivery may happen after this shard
 		// has moved on to its next instance and reset the buffer.
@@ -711,6 +811,12 @@ func (s *Service) deliver(_ uint64, c *completed) {
 			Signers: int(inst.ID), Sigs: len(inst.Values),
 			Bytes: inst.Report.MessagesCorrect, Value: inst.Decided, Flag: inst.Err == nil,
 		})
+		if c.replay {
+			s.sink.Emit(trace.Event{
+				Kind: trace.KindReplay, From: ident.None, To: ident.None,
+				Signers: int(inst.ID), Sigs: len(inst.Values), Flag: inst.Err == nil,
+			})
+		}
 	}
 
 	for _, req := range c.reqs {

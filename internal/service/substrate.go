@@ -56,28 +56,6 @@ type sharedRun struct{ run RunFunc }
 func (s sharedRun) Open(int) RunFunc { return s.run }
 func (sharedRun) Close(int)          {}
 
-// hookSubstrate is the deprecated-shim adapter: it carries the legacy
-// Config.NewShardRun/CloseShardRun function hooks (either may be nil) and a
-// fallback RunFunc for shards the open hook does not cover.
-type hookSubstrate struct {
-	open     func(shard int) RunFunc
-	close    func(shard int)
-	fallback RunFunc
-}
-
-func (h hookSubstrate) Open(shard int) RunFunc {
-	if h.open != nil {
-		return h.open(shard)
-	}
-	return h.fallback
-}
-
-func (h hookSubstrate) Close(shard int) {
-	if h.close != nil {
-		h.close(shard)
-	}
-}
-
 // RunSim executes the instance on the in-memory synchronous engine — the
 // substrate behind `basim -transport memory` and the default for a Service.
 func RunSim(ctx context.Context, cfg core.Config) (Outcome, error) {

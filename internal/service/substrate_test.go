@@ -66,55 +66,22 @@ func TestSubstrateLifecycle(t *testing.T) {
 	}
 }
 
-// TestDeprecatedShardHooks is the one remaining caller of the legacy
-// Config.NewShardRun/CloseShardRun pair: the shim must keep the old hook
-// semantics — per-shard handles at startup, per-shard teardown on Close —
-// for one release while callers migrate to Config.Substrate.
-func TestDeprecatedShardHooks(t *testing.T) {
+// TestSubstrateNilOpenFallsBack pins the construction contract folded into
+// the Substrate path: a substrate whose Open returns nil leaves the shard on
+// the config's shared Run instead of a nil handle.
+func TestSubstrateNilOpenFallsBack(t *testing.T) {
 	var mu sync.Mutex
-	opened, closed := []int{}, []int{}
-	svc, err := service.New(context.Background(), service.Config{
-		Template: multiTemplate(5),
-		Shards:   2,
-		NewShardRun: func(shard int) service.RunFunc {
-			mu.Lock()
-			opened = append(opened, shard)
-			mu.Unlock()
-			return service.RunSim
-		},
-		CloseShardRun: func(shard int) {
-			mu.Lock()
-			closed = append(closed, shard)
-			mu.Unlock()
-		},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res, err := svc.SubmitWait(context.Background(), 9); err != nil || res.Decided != 9 {
-		t.Fatalf("submit through deprecated hooks: %v (decided %v)", err, res.Decided)
-	}
-	svc.Close()
-	mu.Lock()
-	defer mu.Unlock()
-	if len(opened) != 2 || len(closed) != 2 {
-		t.Fatalf("hooks fired opened=%v closed=%v, want 2 shards each", opened, closed)
-	}
-}
-
-// TestDeprecatedCloseHookAlone pins the half-configured legacy shape:
-// CloseShardRun without NewShardRun must still fire (shards fall back to
-// Run), matching the old Config semantics.
-func TestDeprecatedCloseHookAlone(t *testing.T) {
-	var mu sync.Mutex
-	closed := 0
+	ran := 0
 	svc, err := service.New(context.Background(), service.Config{
 		Template: multiTemplate(7),
 		Shards:   2,
 		Run: func(ctx context.Context, cfg core.Config) (service.Outcome, error) {
+			mu.Lock()
+			ran++
+			mu.Unlock()
 			return service.RunSim(ctx, cfg)
 		},
-		CloseShardRun: func(int) { mu.Lock(); closed++; mu.Unlock() },
+		Substrate: nilOpenSubstrate{},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -125,21 +92,13 @@ func TestDeprecatedCloseHookAlone(t *testing.T) {
 	svc.Close()
 	mu.Lock()
 	defer mu.Unlock()
-	if closed != 2 {
-		t.Fatalf("CloseShardRun fired %d times, want 2", closed)
+	if ran == 0 {
+		t.Fatal("shared Run never executed behind a nil Open")
 	}
 }
 
-// TestSubstrateHookConflict rejects configs that set both the new interface
-// and the deprecated hooks — silently preferring one would hide a migration
-// bug.
-func TestSubstrateHookConflict(t *testing.T) {
-	_, err := service.New(context.Background(), service.Config{
-		Template:    multiTemplate(1),
-		Substrate:   service.SharedRun(service.RunSim),
-		NewShardRun: func(int) service.RunFunc { return service.RunSim },
-	})
-	if err == nil {
-		t.Fatal("Substrate + deprecated NewShardRun accepted")
-	}
-}
+// nilOpenSubstrate declines to supply per-shard handles.
+type nilOpenSubstrate struct{}
+
+func (nilOpenSubstrate) Open(int) service.RunFunc { return nil }
+func (nilOpenSubstrate) Close(int)                {}

@@ -61,6 +61,11 @@ type Summary struct {
 	BatchGrows      int
 	BatchShrinks    int
 	BatchTargetPeak int
+	// Replayed counts journaled admissions re-submitted during crash
+	// recovery (KindReplay); Checkpoints counts journal checkpoints written
+	// on drain (KindCheckpoint).
+	Replayed    int
+	Checkpoints int
 	// Fault-injection counters (see the fault-* event kinds in trace.go):
 	// frames dropped, delayed, duplicated and reordered by the plan, and
 	// processors halted by crash-at-phase-k rules. The scenario tests
@@ -152,6 +157,10 @@ func (s *Summary) Add(e Event) {
 		s.FaultReorders++
 	case KindFaultCrash:
 		s.FaultCrashes++
+	case KindReplay:
+		s.Replayed++
+	case KindCheckpoint:
+		s.Checkpoints++
 	}
 }
 
@@ -203,6 +212,9 @@ func (s *Summary) Table() string {
 	if s.FaultDrops+s.FaultDelays+s.FaultDups+s.FaultReorders+s.FaultCrashes > 0 {
 		fmt.Fprintf(&b, "faults: drops=%d delays=%d dups=%d reorders=%d crashes=%d\n",
 			s.FaultDrops, s.FaultDelays, s.FaultDups, s.FaultReorders, s.FaultCrashes)
+	}
+	if s.Replayed+s.Checkpoints > 0 {
+		fmt.Fprintf(&b, "journal: replayed=%d checkpoints=%d\n", s.Replayed, s.Checkpoints)
 	}
 	return b.String()
 }

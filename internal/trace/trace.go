@@ -107,11 +107,21 @@ const (
 	// controller reacts to live load, so these events are not part of the
 	// deterministic replay contract.
 	KindBatchAdapt
+	// KindReplay reports one journaled admission re-submitted during crash
+	// recovery: Signers = the instance id being replayed, Sigs = the batch
+	// size, Flag = true when the replayed instance completed successfully.
+	// Replay runs before live traffic is admitted, so these events are
+	// deterministic given the journal contents.
+	KindReplay
+	// KindCheckpoint reports a journal checkpoint written on drain:
+	// Signers = the admission watermark persisted, Sigs = instances completed
+	// at that point. Admission-scoped: checkpoints record live progress.
+	KindCheckpoint
 )
 
 // NumKinds bounds the Kind space: valid kinds are 1 <= k < NumKinds. Fixed
 // per-kind counter arrays (Spool, the metrics exporter) are sized by it.
-const NumKinds = int(KindBatchAdapt) + 1
+const NumKinds = int(KindCheckpoint) + 1
 
 // kindNames maps kinds to their wire names (see jsonl.go).
 var kindNames = map[Kind]string{
@@ -135,6 +145,8 @@ var kindNames = map[Kind]string{
 	KindFaultReorder:  "fault-reorder",
 	KindFaultCrash:    "fault-crash",
 	KindBatchAdapt:    "batch-adapt",
+	KindReplay:        "replay",
+	KindCheckpoint:    "checkpoint",
 }
 
 // AdmissionScoped reports whether k is a serving-layer admission-side event
@@ -142,7 +154,7 @@ var kindNames = map[Kind]string{
 // interleave by wall time, so they are excluded from the byte-identical
 // merged-trace contract the instance-scoped events keep at any shard count.
 func (k Kind) AdmissionScoped() bool {
-	return k == KindEnqueue || k == KindReject || k == KindBatchAdapt
+	return k == KindEnqueue || k == KindReject || k == KindBatchAdapt || k == KindCheckpoint
 }
 
 // String implements fmt.Stringer.

@@ -98,7 +98,7 @@ func BenchmarkFramePath(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := writeFrame(a, w, 0, 1, 4, 1, msgs); err != nil {
+			if err := writeFrame(a, w, 0, 0, 1, 4, 1, msgs); err != nil {
 				b.Fatal(err)
 			}
 			if _, err := fr.readFrame(c); err != nil {
@@ -134,7 +134,7 @@ func TestFramePathAllocsBudget(t *testing.T) {
 	fr := &frameReader{to: 0}
 	msgs := benchEnvelopes()
 	roundTrip := func() {
-		if err := writeFrame(a, w, 0, 1, 4, 1, msgs); err != nil {
+		if err := writeFrame(a, w, 0, 0, 1, 4, 1, msgs); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := fr.readFrame(c); err != nil {

@@ -35,7 +35,7 @@ func pipeRoundTrip(t *testing.T, epoch uint64, phase int, from ident.ProcID, msg
 	defer func() { _ = b.Close() }()
 
 	errCh := make(chan error, 1)
-	go func() { errCh <- writeFrame(a, wire.NewWriter(64), 0, epoch, phase, from, msgs) }()
+	go func() { errCh <- writeFrame(a, wire.NewWriter(64), 0, 0, epoch, phase, from, msgs) }()
 	fr := &frameReader{to: 9}
 	gotEpoch, gotPhase, gotFrom, gotMsgs := readOneFrame(t, fr, b)
 	if err := <-errCh; err != nil {
@@ -90,7 +90,7 @@ func TestFrameReaderReuse(t *testing.T) {
 				From: 1, To: 2, Phase: i,
 				Payload: []byte{byte(i), byte(i + 1)}, Signers: []ident.ProcID{ident.ProcID(i % 7)}, SigTotal: i,
 			}}
-			if err := writeFrame(a, w, 0, 3, i, 1, msgs); err != nil {
+			if err := writeFrame(a, w, 0, 0, 3, i, 1, msgs); err != nil {
 				return
 			}
 		}
@@ -161,7 +161,7 @@ func TestFrameGarbageBodyRejected(t *testing.T) {
 	defer func() { _ = a.Close() }()
 	defer func() { _ = b.Close() }()
 	go func() {
-		_, _ = a.Write([]byte{0, 0, 0, 4, 0x01, 0xFF, 0xFF, 0xFF})
+		_, _ = a.Write([]byte{0, 0, 0, 5, wire.FrameV1, 0x01, 0xFF, 0xFF, 0xFF})
 	}()
 	fr := &frameReader{to: 0}
 	if _, err := fr.readFrame(b); err != nil {
@@ -169,5 +169,86 @@ func TestFrameGarbageBodyRejected(t *testing.T) {
 	}
 	if _, _, _, err := fr.decode(); err == nil {
 		t.Fatal("garbage body accepted")
+	}
+}
+
+// pipeRoundTripVer is pipeRoundTrip with an explicit emitted frame version.
+func pipeRoundTripVer(t *testing.T, ver byte, epoch uint64, phase int, from ident.ProcID, msgs []sim.Envelope) (uint64, int, ident.ProcID, []sim.Envelope) {
+	t.Helper()
+	a, b := net.Pipe()
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+	errCh := make(chan error, 1)
+	go func() { errCh <- writeFrame(a, wire.NewWriter(64), 0, ver, epoch, phase, from, msgs) }()
+	fr := &frameReader{to: 9}
+	gotEpoch, gotPhase, gotFrom, gotMsgs := readOneFrame(t, fr, b)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if fr.ver != ver {
+		t.Fatalf("reader saw version %d, frame carried %d", fr.ver, ver)
+	}
+	return gotEpoch, gotPhase, gotFrom, gotMsgs
+}
+
+// TestFrameVersionWindow pins the compatibility window: every version in
+// [FrameVersionMin, FrameVersion] round-trips through one reader.
+func TestFrameVersionWindow(t *testing.T) {
+	msgs := []sim.Envelope{{From: 3, To: 9, Phase: 7, Payload: []byte("v"), Signers: []ident.ProcID{1}, SigTotal: 1}}
+	for ver := wire.FrameVersionMin; ver <= wire.FrameVersion; ver++ {
+		epoch, phase, from, got := pipeRoundTripVer(t, ver, 5, 7, 3, msgs)
+		if epoch != 5 || phase != 7 || from != 3 || len(got) != 1 || string(got[0].Payload) != "v" {
+			t.Fatalf("v%d round trip: epoch=%d phase=%d from=%v msgs=%+v", ver, epoch, phase, from, got)
+		}
+	}
+}
+
+// TestFrameFutureVersionRejected pins the typed rejection: a frame one
+// version past the window fails readFrame with wire.ErrWireVersion — never a
+// misparse of the unknown layout behind it.
+func TestFrameFutureVersionRejected(t *testing.T) {
+	a, b := net.Pipe()
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+	go func() {
+		// A well-formed v+1 frame body as far as this build can know it:
+		// future version byte, then arbitrary bytes.
+		_, _ = a.Write([]byte{0, 0, 0, 4, wire.FrameVersion + 1, 0x01, 0x01, 0x00})
+	}()
+	fr := &frameReader{to: 0}
+	if _, err := fr.readFrame(b); !errors.Is(err, wire.ErrWireVersion) {
+		t.Fatalf("future version: got %v, want wire.ErrWireVersion", err)
+	}
+}
+
+// TestFrameV2UnknownFlagsRejected pins the reserved-flags contract: a v2
+// frame with any flag bit set is from a future this build cannot honor and
+// fails decode with wire.ErrWireVersion.
+func TestFrameV2UnknownFlagsRejected(t *testing.T) {
+	a, b := net.Pipe()
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+	go func() {
+		w := wire.NewWriter(64)
+		w.Byte(0)
+		w.Byte(0)
+		w.Byte(0)
+		w.Byte(0)
+		w.Byte(wire.FrameV2)
+		w.Uint(1)   // epoch
+		w.Uint(1)   // phase
+		w.Int(1)    // sender
+		w.Uint(0x8) // reserved flags: a bit this build does not define
+		w.Uint(0)   // message count
+		buf := w.Bytes()
+		binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+		_, _ = a.Write(buf)
+	}()
+	fr := &frameReader{to: 0}
+	if _, err := fr.readFrame(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := fr.decode(); !errors.Is(err, wire.ErrWireVersion) {
+		t.Fatalf("unknown v2 flags: got %v, want wire.ErrWireVersion", err)
 	}
 }

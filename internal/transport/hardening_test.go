@@ -26,7 +26,7 @@ func TestWriteFrameDeadline(t *testing.T) {
 	// until the deadline fires.
 	msgs := []sim.Envelope{{From: 1, To: 2, Phase: 1, Payload: []byte("stuck")}}
 	start := time.Now()
-	err := writeFrame(a, wire.NewWriter(64), 100*time.Millisecond, 1, 1, 1, msgs)
+	err := writeFrame(a, wire.NewWriter(64), 100*time.Millisecond, 0, 1, 1, 1, msgs)
 	if err == nil {
 		t.Fatal("write to a dead receiver succeeded")
 	}
@@ -61,13 +61,13 @@ func TestWriteFrameDeadlineReset(t *testing.T) {
 	// The warm-mesh path reuses one writer per endpoint across every frame of
 	// every epoch, so both writes share it here.
 	w := wire.NewWriter(64)
-	if err := writeFrame(a, w, 50*time.Millisecond, 1, 1, 1, nil); err != nil {
+	if err := writeFrame(a, w, 50*time.Millisecond, 0, 1, 1, 1, nil); err != nil {
 		t.Fatalf("first write: %v", err)
 	}
 	// Sleep past the first deadline, then write with no timeout; a leaked
 	// deadline would fail this write immediately.
 	time.Sleep(80 * time.Millisecond)
-	if err := writeFrame(a, w, 0, 1, 2, 1, nil); err != nil {
+	if err := writeFrame(a, w, 0, 0, 1, 2, 1, nil); err != nil {
 		t.Fatalf("second write hit a stale deadline: %v", err)
 	}
 }
@@ -86,7 +86,7 @@ func TestWriteFrameWriterReuse(t *testing.T) {
 			n, _ := b.Read(buf)
 			got <- buf[:n]
 		}()
-		if err := writeFrame(a, w, 0, epoch, phase, 1, msgs); err != nil {
+		if err := writeFrame(a, w, 0, 0, epoch, phase, 1, msgs); err != nil {
 			t.Fatalf("writeFrame: %v", err)
 		}
 		return <-got

@@ -77,6 +77,7 @@ type endpoint struct {
 	id    ident.ProcID
 	m     *Mesh
 	w     *wire.Writer
+	ver   byte // frame version this endpoint emits
 	rng   *rand.Rand
 	conns []net.Conn // indexed by destination; nil at own index
 }
@@ -87,7 +88,7 @@ type endpoint struct {
 // the row.
 func (ep *endpoint) send(ctx context.Context, epoch uint64, phase int, to ident.ProcID, timeout time.Duration, msgs []sim.Envelope) error {
 	conn := ep.conns[to]
-	err := writeFrame(conn, ep.w, timeout, epoch, phase, ep.id, msgs)
+	err := writeFrame(conn, ep.w, timeout, ep.ver, epoch, phase, ep.id, msgs)
 	if err == nil {
 		return nil
 	}
@@ -97,7 +98,7 @@ func (ep *endpoint) send(ctx context.Context, epoch uint64, phase int, to ident.
 	}
 	_ = conn.Close()
 	ep.conns[to] = nc
-	return writeFrame(nc, ep.w, timeout, epoch, phase, ep.id, msgs)
+	return writeFrame(nc, ep.w, timeout, ep.ver, epoch, phase, ep.id, msgs)
 }
 
 // NewMesh builds the warm mesh: n listeners, the full outbound mesh dialed
@@ -128,10 +129,18 @@ func NewMesh(ctx context.Context, n int, netCfg Net) (*Mesh, error) {
 		m.wg.Add(1)
 		go m.acceptLoop(ident.ProcID(i), ln)
 	}
+	ver := netCfg.WireVersion
+	if ver == 0 {
+		ver = wire.FrameVersion
+	}
+	if err := wire.CheckFrameVersion(ver); err != nil {
+		m.Close()
+		return nil, fmt.Errorf("transport: mesh: %w", err)
+	}
 	for i := 0; i < n; i++ {
 		id := ident.ProcID(i)
 		m.eps[i] = &endpoint{
-			id: id, m: m, w: wire.NewWriter(256),
+			id: id, m: m, w: wire.NewWriter(256), ver: ver,
 			rng:   rand.New(rand.NewSource((int64(id) + 1) * 0x9e3779b9)),
 			conns: make([]net.Conn, n),
 		}
@@ -166,6 +175,24 @@ func NewMesh(ctx context.Context, n int, netCfg Net) (*Mesh, error) {
 		}
 	}
 	return m, nil
+}
+
+// SetPeerWireVersion pins the frame version one processor's endpoint emits —
+// the mixed-version drill a rolling upgrade performs: downgrade one peer's
+// emitter to wire.FrameVersionMin and the instance must still complete,
+// because every receiver accepts the whole window. Must not race a Run.
+func (m *Mesh) SetPeerWireVersion(id ident.ProcID, ver byte) error {
+	if int(id) < 0 || int(id) >= m.n {
+		return fmt.Errorf("transport: no peer %d in a mesh of %d", id, m.n)
+	}
+	if ver == 0 {
+		ver = wire.FrameVersion
+	}
+	if err := wire.CheckFrameVersion(ver); err != nil {
+		return err
+	}
+	m.eps[id].ver = ver
+	return nil
 }
 
 // acceptLoop serves one processor's listener for the life of the mesh.
@@ -405,6 +432,7 @@ type frameReader struct {
 	hdr  [4]byte
 	body *[]byte // in-hand pooled buffer; nil after retire
 	rd   wire.Reader
+	ver  byte // version byte of the frame last read
 	envs []sim.Envelope
 
 	arena    []ident.ProcID  // len = used, cap = chunk size
@@ -416,8 +444,11 @@ type frameReader struct {
 }
 
 // readFrame reads one length-prefixed frame into the reader's buffer and
-// decodes the epoch tag, leaving the message section for decode — callers
-// drop stale-epoch frames without paying for their decode.
+// decodes the version byte and epoch tag, leaving the message section for
+// decode — callers drop stale-epoch frames without paying for their decode.
+// A version outside the compatibility window fails with wire.ErrWireVersion
+// before any layout behind the byte is trusted; the caller closes the
+// connection rather than guessing where the next frame starts.
 func (fr *frameReader) readFrame(conn net.Conn) (uint64, error) {
 	if _, err := io.ReadFull(conn, fr.hdr[:]); err != nil {
 		return 0, err
@@ -440,6 +471,13 @@ func (fr *frameReader) readFrame(conn net.Conn) (uint64, error) {
 		return 0, err
 	}
 	fr.rd.Reset(buf)
+	fr.ver = fr.rd.Byte()
+	if err := fr.rd.Err(); err != nil {
+		return 0, err
+	}
+	if err := wire.CheckFrameVersion(fr.ver); err != nil {
+		return 0, err
+	}
 	epoch := fr.rd.Uint()
 	return epoch, fr.rd.Err()
 }
@@ -451,6 +489,13 @@ func (fr *frameReader) decode() (int, ident.ProcID, []sim.Envelope, error) {
 	r := &fr.rd
 	phase := int(r.Uint())
 	from := r.Proc()
+	if fr.ver >= wire.FrameV2 {
+		// The v2 reserved frame-flags field: no flag is defined yet, so any
+		// set bit comes from a future version this build cannot honor.
+		if flags := r.Uint(); r.Err() == nil && flags != 0 {
+			return 0, 0, nil, fmt.Errorf("%w: unknown frame flags %#x", wire.ErrWireVersion, flags)
+		}
+	}
 	cnt := r.Len()
 	if err := r.Err(); err != nil {
 		return 0, 0, nil, err

@@ -124,12 +124,78 @@ func TestMeshStaleEpochDropped(t *testing.T) {
 	w := wire.NewWriter(64)
 	poison := []sim.Envelope{{From: 2, To: 0, Phase: 1, Payload: []byte("stale"), SigTotal: 99}}
 	for phase := 1; phase <= 3; phase++ {
-		if err := writeFrame(conn, w, time.Second, 999, phase, 2, poison); err != nil {
+		if err := writeFrame(conn, w, time.Second, 0, 999, phase, 2, poison); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	res, err := m.Run(ctx, meshConfig(ident.V1, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshAgreement(t, res, ident.V1)
+}
+
+// TestMeshMixedVersions is the rolling-upgrade drill: one peer emits the
+// previous frame version while the rest emit the current one, and agreement
+// still completes through one warm mesh — receivers accept the whole
+// compatibility window, so an encoding change needs no flag day.
+func TestMeshMixedVersions(t *testing.T) {
+	ctx := context.Background()
+	m, err := NewMesh(ctx, 3, Net{PhaseTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if err := m.SetPeerWireVersion(1, wire.FrameVersionMin); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := m.Run(ctx, meshConfig(ident.V1, int64(40+i)))
+		if err != nil {
+			t.Fatalf("mixed-version epoch %d: %v", i+1, err)
+		}
+		meshAgreement(t, res, ident.V1)
+	}
+
+	if err := m.SetPeerWireVersion(3, wire.FrameVersionMin); err == nil {
+		t.Fatal("peer id outside the mesh accepted")
+	}
+	if err := m.SetPeerWireVersion(1, wire.FrameVersion+1); !errors.Is(err, wire.ErrWireVersion) {
+		t.Fatalf("future emit version: got %v, want wire.ErrWireVersion", err)
+	}
+}
+
+// TestMeshFutureVersionConnRejected injects a v+1 frame straight into a
+// listener: the mesh must drop the connection at the version byte (the typed
+// wire.ErrWireVersion path pinned in TestFrameFutureVersionRejected) without
+// the garbage layout ever reaching an instance.
+func TestMeshFutureVersionConnRejected(t *testing.T) {
+	ctx := context.Background()
+	m, err := NewMesh(ctx, 3, Net{PhaseTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	conn, err := net.Dial("tcp", m.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Write([]byte{0, 0, 0, 4, wire.FrameVersion + 1, 0x01, 0x01, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	// The server closes the poisoned connection: the next read sees EOF.
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection survived a future-version frame")
+	}
+
+	res, err := m.Run(ctx, meshConfig(ident.V1, 33))
 	if err != nil {
 		t.Fatal(err)
 	}

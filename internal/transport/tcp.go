@@ -92,6 +92,15 @@ type Net struct {
 	// delay is applied once per phase (links are traversed in parallel),
 	// never affects determinism, and zero disables it.
 	LinkDelay time.Duration
+
+	// WireVersion selects the frame version this cluster's peers emit
+	// (zero means wire.FrameVersion, the newest this build knows). Receivers
+	// always accept the whole compatibility window
+	// [wire.FrameVersionMin, wire.FrameVersion] regardless of this setting —
+	// pinning the emitted version one release back is how a mesh rolls
+	// through an encoding change (see Mesh.SetPeerWireVersion for per-peer
+	// mixed-version drills).
+	WireVersion byte
 }
 
 // Config describes a TCP cluster run with a transport-private options
@@ -519,10 +528,14 @@ func sortInbox(in []sim.Envelope) {
 	}
 }
 
-// Frame wire format: u32 length, then body: uvarint epoch, phase, sender,
+// Frame wire format: u32 length, then body: version byte, uvarint epoch,
+// phase, sender, a reserved frame-flags uvarint at v2+ (must be zero),
 // count, then per message: payload bytes, signer list, sigTotal. The epoch
 // tag is how a warm mesh resets between instances without reconnecting —
-// receivers drop frames whose tag is not the current epoch's.
+// receivers drop frames whose tag is not the current epoch's. The version
+// byte leads the body so receivers can reject a frame from outside the
+// compatibility window (wire.ErrWireVersion) before trusting any layout
+// assumption behind it.
 //
 // writeFrame encodes into the caller's reusable writer (header placeholder
 // patched in place, one Write call) so the steady-state path allocates
@@ -530,15 +543,22 @@ func sortInbox(in []sim.Envelope) {
 // reading while its kernel buffers are full would otherwise block the
 // sender's phase loop forever, turning one sick peer into a cluster-wide
 // hang. A timeout ≤ 0 leaves the connection unbounded.
-func writeFrame(conn net.Conn, w *wire.Writer, timeout time.Duration, epoch uint64, phase int, from ident.ProcID, msgs []sim.Envelope) error {
+func writeFrame(conn net.Conn, w *wire.Writer, timeout time.Duration, ver byte, epoch uint64, phase int, from ident.ProcID, msgs []sim.Envelope) error {
+	if ver == 0 {
+		ver = wire.FrameVersion
+	}
 	w.Reset()
 	w.Byte(0)
 	w.Byte(0)
 	w.Byte(0)
 	w.Byte(0)
+	w.Byte(ver)
 	w.Uint(epoch)
 	w.Uint(uint64(phase))
 	w.Proc(from)
+	if ver >= wire.FrameV2 {
+		w.Uint(0) // reserved frame flags
+	}
 	w.Uint(uint64(len(msgs)))
 	for _, m := range msgs {
 		w.BytesField(m.Payload)

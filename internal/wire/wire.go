@@ -27,6 +27,43 @@ import (
 // ErrTruncated indicates the buffer ended before a complete value was read.
 var ErrTruncated = errors.New("wire: truncated input")
 
+// ErrWireVersion indicates a frame carried a version byte outside the
+// compatibility window [FrameVersionMin, FrameVersion]. Receivers reject the
+// frame (and close the connection) rather than guessing at the layout; the
+// typed sentinel lets operators distinguish a version skew from corruption.
+var ErrWireVersion = errors.New("wire: unsupported frame version")
+
+// Frame versions. Every transport frame body starts with one version byte;
+// the compatibility window [FrameVersionMin, FrameVersion] is what a receiver
+// accepts, which is how a warm mesh rolls peers through an encoding change
+// without a flag day: a rolled-out binary accepts both versions, so peers can
+// be upgraded one at a time and emitters flipped once every receiver is new
+// (transport.Net.WireVersion pins the emitted version during the roll).
+const (
+	// FrameV1 is the original framed layout: version byte, uvarint epoch,
+	// uvarint phase, zigzag sender, uvarint message count, messages.
+	FrameV1 byte = 1
+	// FrameV2 adds a reserved frame-flags uvarint (must be zero) after the
+	// sender field — the extension point the version window exists for.
+	FrameV2 byte = 2
+
+	// FrameVersion is the newest version this build understands (and the
+	// highest it can emit).
+	FrameVersion = FrameV2
+	// FrameVersionMin is the oldest version this build still accepts.
+	FrameVersionMin = FrameV1
+)
+
+// CheckFrameVersion validates a received frame's version byte against the
+// compatibility window, returning an error wrapping ErrWireVersion outside
+// it.
+func CheckFrameVersion(v byte) error {
+	if v < FrameVersionMin || v > FrameVersion {
+		return fmt.Errorf("%w: got v%d, accept [v%d, v%d]", ErrWireVersion, v, FrameVersionMin, FrameVersion)
+	}
+	return nil
+}
+
 // ErrOversize indicates a length prefix exceeded the reader's limit; it
 // guards against maliciously crafted payloads allocating huge buffers.
 var ErrOversize = errors.New("wire: length prefix exceeds limit")
