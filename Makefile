@@ -19,21 +19,25 @@
 #   make bench-ops   - ops-plane benchmarks (open-loop latency, zero-alloc
 #                      metrics scrape); archives BENCH_006.json
 #   make bench-journal - durability benchmarks (fsync policies, recovery scan,
-#                      segment rotation); archives BENCH_007.json
+#                      segment rotation, compacted-recovery flatness, plus the
+#                      live churn drill); archives BENCH_008.json
 #   make crash       - crash-recovery drill: SIGKILL a journaled server
 #                      mid-load, restart it, verify replay (part of check)
+#   make upgrade     - rolling-upgrade drill: roll a two-server fleet across
+#                      wire frame versions under load (part of check)
 #   make fuzz        - run every fuzz target on a short fixed budget
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check lint test bench bench-trace bench-service bench-transport bench-ops bench-journal baexp trace-smoke faults slo crash fuzz
+.PHONY: check lint test bench bench-trace bench-service bench-transport bench-ops bench-journal baexp trace-smoke faults slo crash upgrade fuzz
 
 check: lint faults
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race -count=1 ./internal/service/ ./internal/runner/ ./internal/transport/ ./internal/obs/ ./internal/journal/
 	$(MAKE) crash
+	$(MAKE) upgrade
 	$(MAKE) slo
 
 # The durability gate: a journaled server is SIGKILLed mid-load (a forked
@@ -43,6 +47,14 @@ check: lint faults
 # (trace-pinned), and live traffic resumes with fresh ids past the watermark.
 crash:
 	$(GO) test -race -count=1 ./cmd/baserve/ -run 'TestServeCrashRecovery'
+
+# The rolling-upgrade gate: two journaled baserve processes on the TCP
+# transport, one pinned to the previous frame version; it is drained and
+# restarted at the current version while its sibling serves uninterrupted,
+# and instance ids continue exactly past the drain checkpoint. The same roll
+# is repeated at warm-mesh granularity (SetPeerWireVersion mid-mesh).
+upgrade:
+	$(GO) test -race -count=1 ./cmd/baserve/ -run 'TestServeRollingUpgrade'
 
 # The serving SLO gate: a short open-loop run (Poisson arrivals, latency
 # measured from each scheduled arrival, rejections shed) against a
@@ -127,14 +139,25 @@ bench-ops:
 	  $(GO) test -bench 'BenchmarkMetricsScrape' -benchtime=20000x -benchmem -run '^$$' ./internal/obs/ ; } \
 	| /tmp/benchjson -label current > BENCH_006.json
 
-# The durability numbers (BENCH_007): the fsync trade-off (per-record sync
+# The durability numbers (BENCH_008): the fsync trade-off (per-record sync
 # versus group commit, with syncs/op reported so the realized commit batch is
-# visible), the recovery scan over a 10k-record journal, and segment-size
-# sensitivity of the append path.
+# visible), the recovery scan over a 10k-record journal, segment-size
+# sensitivity of the append path, compacted recovery staying flat as the
+# total journaled volume grows 10k→100k (records-scanned bounded by the
+# checkpoint cadence), replay throughput, and the live kill/restart churn
+# drill (recovery time and replayed count per restart). The churn drill runs
+# as its own command first — it is a gate (replay count must stay within the
+# checkpoint budget), and a pipe would mask its exit code.
 bench-journal:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
-	$(GO) test -bench 'BenchmarkJournal' -benchtime=200x -benchmem -run '^$$' ./internal/journal/ \
-	| /tmp/benchjson -label current > BENCH_007.json
+	$(GO) build -o /tmp/baload ./cmd/baload
+	rm -rf /tmp/byzex-churn-journal
+	/tmp/baload -churn 3 -churn-acks 48 -c 8 -protocol alg1 -t 1 -shards 2 \
+		-journal-dir /tmp/byzex-churn-journal -fsync always -checkpoint-every 16 \
+		> /tmp/byzex-churn-bench.txt
+	{ $(GO) test -bench 'BenchmarkJournal' -benchtime=200x -benchmem -run '^$$' ./internal/journal/ ; \
+	  cat /tmp/byzex-churn-bench.txt ; } \
+	| /tmp/benchjson -label current > BENCH_008.json
 
 # Short fixed-budget fuzzing of every decoder that touches attacker-supplied
 # bytes: the wire codec (seeded from captured real-run envelopes) and the

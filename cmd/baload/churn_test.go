@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"byzex/internal/journal"
+)
+
+// TestHelperChurnServe is not a test: it is the churn drill's child server
+// body, selected by the parent's re-exec of the test binary. The env marker
+// keeps a plain `go test` run from ever entering it.
+func TestHelperChurnServe(t *testing.T) {
+	if os.Getenv("BALOAD_CHURN_SERVE") != "1" {
+		t.Skip("churn-drill helper process only")
+	}
+	args := strings.Split(os.Getenv("BALOAD_CHURN_ARGS"), "\x1f")
+	os.Exit(runChurnServe(args, os.Stdout, os.Stderr))
+}
+
+// TestChurnDrill runs the full -churn mode in miniature: two SIGKILL/restart
+// cycles over one journal directory plus the final clean drain, with the
+// test binary acting as its own server child. It pins the drill's contract:
+// exit 0, one benchmark-format recovery line per restart (parseable by
+// benchjson's `name iters value unit...` shape), every restart's replay
+// count within the checkpoint-budget bound, and a journal left fully
+// checkpointed — a third boot would replay nothing.
+func TestChurnDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn drill forks the test binary")
+	}
+	// Route the re-exec into the helper above instead of baload's main.
+	churnChildPrefix = []string{"-test.run", "^TestHelperChurnServe$"}
+	defer func() { churnChildPrefix = nil }()
+
+	journalDir := filepath.Join(t.TempDir(), "journal")
+	code, stdout, stderr := capture(t, []string{
+		"-churn", "2", "-churn-acks", "16", "-c", "4",
+		"-protocol", "alg1", "-t", "1", "-seed", "7", "-shards", "2",
+		"-journal-dir", journalDir, "-fsync", "always", "-checkpoint-every", "8",
+	})
+	if code != 0 {
+		t.Fatalf("churn drill exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+
+	benchLine := regexp.MustCompile(`(?m)^BenchmarkChurnRecovery/cycle=(\d+) \t1\t(\d+) ns/op\t(\d+) replayed\t\d+ replayed/s$`)
+	lines := benchLine.FindAllStringSubmatch(stdout, -1)
+	if len(lines) != 2 {
+		t.Fatalf("want 2 recovery benchmark lines, got %d:\n%s", len(lines), stdout)
+	}
+	// The acceptance bound: a restart replays at most one checkpoint budget
+	// plus legal in-flight work (queue + shards*batch + conns); the drill
+	// itself gates on this, re-derive it here so a silently-wrong bound in
+	// the drill cannot pass the test.
+	const bound = 8 + 64 + 2*1 + 4
+	for _, m := range lines {
+		replayed, _ := strconv.Atoi(m[3])
+		if replayed > bound {
+			t.Fatalf("cycle %s replayed %d > bound %d", m[1], replayed, bound)
+		}
+	}
+	if !strings.Contains(stdout, "churn: 2 kill/restart cycles") {
+		t.Fatalf("summary line missing:\n%s", stdout)
+	}
+
+	// The final generation drained: the journal hands a third boot nothing.
+	rec, err := journal.Recover(journalDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint == nil || len(rec.Pending) != 0 {
+		t.Fatalf("post-drill journal: checkpoint=%v pending=%d", rec.Checkpoint, len(rec.Pending))
+	}
+}
+
+// TestChurnFlagValidation pins the typed rejections of the drill surface.
+func TestChurnFlagValidation(t *testing.T) {
+	if code, _, stderr := capture(t, []string{"-churn", "1"}); code != 2 ||
+		!strings.Contains(stderr, "-churn requires -journal-dir") {
+		t.Fatalf("churn without journal: code %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := capture(t, []string{
+		"-churn", "1", "-journal-dir", t.TempDir(), "-selfhost",
+	}); code != 2 || !strings.Contains(stderr, "-churn is its own drill") {
+		t.Fatalf("churn with selfhost: code %d, stderr %q", code, stderr)
+	}
+}

@@ -29,6 +29,18 @@
 // reported; the template flags must match the server's. Any divergence in
 // the decided value or the correct-sender message/signature counts is a
 // verification failure and the exit code is non-zero.
+//
+// With -churn N (requires -journal-dir), baload becomes the journal churn
+// drill: it forks a journaled server as a child process, drives closed-loop
+// load until -churn-acks acknowledgements, SIGKILLs the child mid-load,
+// restarts it over the same journal directory, and repeats N times (the
+// final generation drains cleanly via SIGTERM). Each restart's replay count
+// is gated against the checkpoint budget (-checkpoint-every plus legal
+// in-flight work), and recovery time per restart is printed in benchmark
+// format for `make bench-journal` to archive:
+//
+//	baload -churn 3 -churn-acks 48 -c 8 -protocol alg1 -t 1 \
+//	    -journal-dir /tmp/churn -fsync always -checkpoint-every 16
 package main
 
 import (
@@ -38,6 +50,7 @@ import (
 	"net"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"byzex/internal/cli"
@@ -48,6 +61,11 @@ import (
 )
 
 func main() {
+	// The churn drill re-execs this binary as its server child; the env
+	// marker routes the child straight into the serve body.
+	if os.Getenv("BALOAD_CHURN_SERVE") == "1" {
+		os.Exit(runChurnServe(strings.Split(os.Getenv("BALOAD_CHURN_ARGS"), "\x1f"), os.Stdout, os.Stderr))
+	}
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
@@ -67,6 +85,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		rate     = fs.Float64("rate", 0, "open loop: Poisson arrival rate in submissions/s (0 = closed loop)")
 		duration = fs.Duration("duration", 2*time.Second, "open loop: arrival window")
 		sloP99   = fs.Duration("slo-p99", 0, "open loop: exit non-zero unless p99 latency <= this bound (0 = no gate)")
+
+		// Kill/restart drill over a journaled child server.
+		churn     = fs.Int("churn", 0, "journal churn drill: fork a journaled server, SIGKILL and restart it this many times under load (requires -journal-dir)")
+		churnAcks = fs.Int("churn-acks", 64, "churn: acknowledged submissions per server generation before the signal")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -77,6 +99,17 @@ func run(args []string, stdout, stderr *os.File) int {
 	if *rate == 0 && *sloP99 > 0 {
 		fmt.Fprintln(stderr, "-slo-p99 requires the open loop (-rate): closed-loop latency hides overload")
 		return 2
+	}
+	if *churn > 0 {
+		if *sf.JournalDir == "" {
+			fmt.Fprintln(stderr, "-churn requires -journal-dir: the drill measures journal recovery")
+			return 2
+		}
+		if *selfhost || *rate > 0 || *verify {
+			fmt.Fprintln(stderr, "-churn is its own drill; drop -selfhost/-rate/-verify")
+			return 2
+		}
+		return runChurn(churnConfigFrom(sf, *churn, *churnAcks, *conns, *mod), stdout, stderr)
 	}
 
 	tmpl, warn, err := sf.Template().Resolve()

@@ -28,6 +28,9 @@
 // replayed byte-identically with their original ids before the listener
 // opens — a recovered server never reuses an instance seed — and the
 // recovery banner reports the watermark and replay count.
+// -checkpoint-every / -checkpoint-interval bound the replay window while
+// serving: checkpoints are cut at the delivered watermark on a record
+// budget or timer, and fully delivered segments are pruned live.
 //
 // SIGINT/SIGTERM drains: admitted values still decide, new submissions are
 // rejected with "ERR draining", the journal checkpoints (watermark +
@@ -46,6 +49,7 @@ import (
 	"time"
 
 	"byzex/internal/cli"
+	"byzex/internal/journal"
 	"byzex/internal/obs"
 	"byzex/internal/service"
 )
@@ -160,10 +164,19 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
+	var jstats journal.Stats
 	if jw != nil {
 		// The service checkpointed during Close (and swallowed any error to
-		// finish the drain); the writer's Close surfaces the journal's true
-		// final state.
+		// finish the drain); the writer's counters say whether any checkpoint
+		// — including that final one — failed, and the writer's Close
+		// surfaces the journal's true final state. Snapshot before Close so
+		// the banner below can report a failed final checkpoint even when
+		// Close itself errors the process out.
+		jw.StatsInto(&jstats)
+		if jstats.CheckpointFailures > 0 {
+			fmt.Fprintf(stdout, "journal: warning: %d checkpoint write(s) failed; the next restart replays from the last good checkpoint\n",
+				jstats.CheckpointFailures)
+		}
 		if err := jw.Close(); err != nil {
 			return fail(stderr, err)
 		}

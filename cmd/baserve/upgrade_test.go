@@ -1,0 +1,242 @@
+package main
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"byzex/internal/core"
+	"byzex/internal/ident"
+	"byzex/internal/journal"
+	"byzex/internal/protocols/alg1"
+	"byzex/internal/service"
+	"byzex/internal/transport"
+	"byzex/internal/wire"
+)
+
+// startChildServe forks the test binary as a real baserve process (the
+// TestHelperServeProcess body), so the drill can signal it like an operator
+// would. Returns the command and the path of its combined output.
+func startChildServe(t *testing.T, dir, name string, args []string) (*exec.Cmd, string) {
+	t.Helper()
+	outF, err := os.Create(filepath.Join(dir, name+"-out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := exec.Command(os.Args[0], "-test.run", "^TestHelperServeProcess$")
+	child.Env = append(os.Environ(),
+		"BASERVE_CRASH_HELPER=1",
+		"BASERVE_CRASH_ARGS="+strings.Join(args, "\x1f"),
+	)
+	child.Stdout = outF
+	child.Stderr = outF
+	if err := child.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = outF.Close()
+		_ = child.Process.Kill()
+		_, _ = child.Process.Wait()
+	})
+	return child, outF.Name()
+}
+
+// TestServeRollingUpgrade is the scripted fleet upgrade: two journaled
+// baserve processes run side by side on the TCP transport, the "old" one
+// pinned to the previous frame version. Under continuous load to its
+// sibling, the old server is drained (SIGTERM — checkpoint, prune, exit 0)
+// and restarted over the same journal directory emitting the current frame
+// version. The drill pins that (1) the sibling serves without interruption
+// through the roll, (2) the upgraded server's instance ids continue exactly
+// where the drain checkpoint left them — no id, and so no per-instance
+// seed, is reused across a version change — and (3) a warm mesh carries a
+// peer across the same version change in-process, so the upgrade needs no
+// flag day at either granularity. Wired as `make upgrade` (part of check),
+// runs under -race.
+func TestServeRollingUpgrade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("upgrade drill forks the test binary")
+	}
+	dir := t.TempDir()
+	journalA := filepath.Join(dir, "journal-a")
+
+	// The fleet: A emits the previous frame version and journals with a
+	// small mid-run checkpoint budget (live compaction runs in the real
+	// binary, not just the unit tests); B emits the current version.
+	argsA := []string{
+		"-protocol", "alg1", "-t", "1", "-seed", "31",
+		"-addr", "127.0.0.1:0", "-shards", "2",
+		"-transport", "tcp", "-wire-version", strconv.Itoa(int(wire.FrameVersionMin)),
+		"-journal-dir", journalA, "-fsync", "always", "-checkpoint-every", "4",
+	}
+	argsB := []string{
+		"-protocol", "alg1", "-t", "1", "-seed", "47",
+		"-addr", "127.0.0.1:0", "-shards", "2",
+		"-transport", "tcp", "-wire-version", strconv.Itoa(int(wire.FrameVersion)),
+	}
+	childA, outA := startChildServe(t, dir, "a-gen1", argsA)
+	_, outB := startChildServe(t, dir, "b", argsB)
+	waitForBanner(t, outA, `journal: \S+ fsync=always watermark=(0) replayed=0`)
+	addrA := waitForBanner(t, outA, `listening on (\S+)`)
+	addrB := waitForBanner(t, outB, `listening on (\S+)`)
+
+	// Continuous load to B for the whole drill: the roll must not dent it.
+	var (
+		ackedB  atomic.Int64
+		stopB   atomic.Bool
+		wgB     sync.WaitGroup
+		loadErr atomic.Value
+	)
+	wgB.Add(1)
+	go func() {
+		defer wgB.Done()
+		cl, err := service.DialClient(addrB)
+		if err != nil {
+			loadErr.Store(err)
+			return
+		}
+		defer func() { _ = cl.Close() }()
+		for i := 0; !stopB.Load(); i++ {
+			if _, err := cl.Submit(ident.Value(i % 2)); err != nil {
+				loadErr.Store(err)
+				return
+			}
+			ackedB.Add(1)
+		}
+	}()
+
+	// Old-version A takes traffic past its checkpoint budget, so at least
+	// one live checkpoint lands before the drain writes the final one.
+	clA, err := service.DialClient(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ackedA = 6
+	for i := 0; i < ackedA; i++ {
+		if _, err := clA.Submit(ident.Value(i % 2)); err != nil {
+			t.Fatalf("submit %d to old-version server: %v", i, err)
+		}
+	}
+	_ = clA.Close()
+
+	// Roll A: drain the old binary the way an operator does.
+	ackedBeforeRoll := ackedB.Load()
+	if err := childA.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := childA.Wait(); err != nil {
+		out, _ := os.ReadFile(outA)
+		t.Fatalf("old-version server drain: %v\n%s", err, out)
+	}
+	if out, _ := os.ReadFile(outA); !strings.Contains(string(out), "drained after") ||
+		strings.Contains(string(out), "checkpoint write(s) failed") {
+		t.Fatalf("old-version drain banner:\n%s", out)
+	}
+
+	// Between generations the journal is the handoff: the drain checkpoint
+	// covers everything, old segments are pruned, nothing is pending.
+	rec, err := journal.Recover(journalA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint == nil || len(rec.Pending) != 0 {
+		t.Fatalf("drain handoff: checkpoint=%v pending=%d", rec.Checkpoint, len(rec.Pending))
+	}
+	if rec.Watermark != ackedA {
+		t.Fatalf("drain watermark %d, want %d", rec.Watermark, ackedA)
+	}
+
+	// Generation 2: same journal directory, current frame version.
+	argsA2 := append(argsA[:len(argsA):len(argsA)], "-wire-version", strconv.Itoa(int(wire.FrameVersion)))
+	_, outA2 := startChildServe(t, dir, "a-gen2", argsA2)
+	wm := waitForBanner(t, outA2, `journal: \S+ fsync=always watermark=(\d+) replayed=0`)
+	if wm != strconv.Itoa(ackedA) {
+		t.Fatalf("upgraded server watermark %s, want %d", wm, ackedA)
+	}
+	addrA2 := waitForBanner(t, outA2, `listening on (\S+)`)
+
+	// Instance ids continue exactly past the old generation's watermark.
+	clA2, err := service.DialClient(addrA2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		rep, err := clA2.Submit(ident.Value(i % 2))
+		if err != nil {
+			t.Fatalf("post-upgrade submit %d: %v", i, err)
+		}
+		if rep.InstanceID != uint64(ackedA+i) {
+			t.Fatalf("post-upgrade instance id %d, want %d", rep.InstanceID, ackedA+i)
+		}
+		if rep.Seed != 31+int64(rep.InstanceID) {
+			t.Fatalf("post-upgrade seed %d for id %d", rep.Seed, rep.InstanceID)
+		}
+	}
+	_ = clA2.Close()
+
+	// B never stopped: its acknowledged count moved while A was down.
+	deadline := time.Now().Add(15 * time.Second)
+	for ackedB.Load() <= ackedBeforeRoll {
+		if err, _ := loadErr.Load().(error); err != nil {
+			t.Fatalf("sibling load interrupted during the roll: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sibling served nothing during the roll (stuck at %d)", ackedBeforeRoll)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stopB.Store(true)
+	wgB.Wait()
+	if err, _ := loadErr.Load().(error); err != nil {
+		t.Fatalf("sibling load interrupted during the roll: %v", err)
+	}
+
+	// The same roll at mesh granularity: one warm mesh, one peer on the old
+	// frame version, agreement before and after that peer upgrades mid-mesh.
+	ctx := context.Background()
+	m, err := transport.NewMesh(ctx, 3, transport.Net{PhaseTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for _, step := range []struct {
+		name string
+		ver  byte
+	}{
+		{"old-peer", wire.FrameVersionMin},
+		{"upgraded-peer", wire.FrameVersion},
+	} {
+		if err := m.SetPeerWireVersion(1, step.ver); err != nil {
+			t.Fatalf("%s: %v", step.name, err)
+		}
+		res, err := m.Run(ctx, meshUpgradeConfig(int64(60+int(step.ver))))
+		if err != nil {
+			t.Fatalf("%s epoch: %v", step.name, err)
+		}
+		for id, d := range res.Decisions {
+			if res.Faulty.Has(id) {
+				continue
+			}
+			if !d.Decided || d.Value != ident.V1 {
+				t.Fatalf("%s: %v decided (%v,%v), want %v", step.name, id, d.Value, d.Decided, ident.V1)
+			}
+		}
+	}
+	if err := m.SetPeerWireVersion(1, wire.FrameVersion+1); err == nil {
+		t.Fatal("future frame version accepted for a peer")
+	}
+}
+
+// meshUpgradeConfig is one agreement epoch for the in-process mesh segment
+// of the upgrade drill.
+func meshUpgradeConfig(seed int64) core.Config {
+	return core.Config{Protocol: alg1.Protocol{}, N: 3, T: 1, Value: ident.V1, Seed: seed}
+}

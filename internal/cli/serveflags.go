@@ -55,8 +55,10 @@ type ServeFlags struct {
 	TraceRing   *int
 
 	// Durability flags.
-	JournalDir *string
-	Fsync      *string
+	JournalDir         *string
+	Fsync              *string
+	CheckpointEvery    *int
+	CheckpointInterval *time.Duration
 
 	// Wire flags.
 	WireVersion *int
@@ -95,6 +97,8 @@ func RegisterServeFlags(fs *flag.FlagSet) *ServeFlags {
 
 	sf.JournalDir = fs.String("journal-dir", "", "write-ahead journal directory; admissions are journaled before execution and replayed on restart; empty = no durability")
 	sf.Fsync = fs.String("fsync", "always", `journal sync policy: "always" (sync every admission) or a group-commit interval like "2ms"`)
+	sf.CheckpointEvery = fs.Int("checkpoint-every", 5000, "with -journal-dir: write a mid-run checkpoint every N journaled admissions, pruning delivered segments (0 = only at drain)")
+	sf.CheckpointInterval = fs.Duration("checkpoint-interval", 30*time.Second, "with -journal-dir: also checkpoint after this much time since the last one (0 = no timer)")
 
 	sf.WireVersion = fs.Int("wire-version", 0, "with -transport tcp: frame version to emit (0 = current; receivers accept the whole compatibility window)")
 	return sf
@@ -169,7 +173,12 @@ func (sf *ServeFlags) OpenJournal(tmpl core.Config) (*journal.Writer, *journal.R
 	if err != nil {
 		return nil, nil, err
 	}
-	return journal.Open(*sf.JournalDir, journal.Options{Template: tmpl, Fsync: fsync})
+	return journal.Open(*sf.JournalDir, journal.Options{
+		Template:           tmpl,
+		Fsync:              fsync,
+		CheckpointEvery:    *sf.CheckpointEvery,
+		CheckpointInterval: *sf.CheckpointInterval,
+	})
 }
 
 // OpenSpool creates the -trace spool over its output file. It returns

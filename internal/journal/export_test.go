@@ -1,0 +1,19 @@
+package journal
+
+// SetRemoveFileForTest swaps the function pruneLocked uses to delete segment
+// files. The suite runs as root in CI, so permission-based failure injection
+// (chmod on the directory) cannot make os.Remove fail; tests inject prune
+// failures through this hook instead.
+func (w *Writer) SetRemoveFileForTest(fn func(string) error) {
+	w.mu.Lock()
+	w.removeFile = fn
+	w.mu.Unlock()
+}
+
+// PrunePendingForTest reports whether a failed prune is awaiting retry on
+// the flusher tick.
+func (w *Writer) PrunePendingForTest() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.prunePending
+}

@@ -3,14 +3,17 @@
 // records, and the recovery path that turns a journal directory back into a
 // running service after a crash.
 //
-// The write path implements service.Journal: the service's sequencer calls
-// Admit before an instance is handed to a shard, so every instance that ever
-// executes has a durable record first (write-ahead, not write-behind), and
-// Checkpoint once during drain, marking every earlier admission delivered.
-// Because the service derives each instance entirely from (template, id,
-// values) — seed = template seed + id, packed value = PackValues(values) —
-// an admission record is the complete recipe for re-executing its instance
-// byte-identically; the journal never needs to store outcomes.
+// The write path implements service.Journal and service.CompactingJournal:
+// the service's sequencer calls Admit before an instance is handed to a
+// shard, so every instance that ever executes has a durable record first
+// (write-ahead, not write-behind); the delivery path calls MaybeCheckpoint,
+// which writes a checkpoint at the delivered watermark when a record budget
+// or timer says one is due (live compaction); and Checkpoint writes the
+// final drain marker. Because the service derives each instance entirely
+// from (template, id, values) — seed = template seed + id, packed value =
+// PackValues(values) — an admission record is the complete recipe for
+// re-executing its instance byte-identically; the journal never needs to
+// store outcomes.
 //
 // On disk a journal is a directory of numbered segment files. Each segment
 // opens with an 8-byte magic and holds length-prefixed records framed with a
@@ -18,10 +21,14 @@
 // the last whole record; corruption anywhere *before* the tail is refused
 // loudly (ErrCorrupt) instead of silently replaying a damaged history. Every
 // boot starts a fresh segment, so only the final segment of a generation can
-// ever be torn. A checkpoint makes every older segment garbage — recovery
-// needs only admissions at or above the checkpoint watermark, and those are
-// always in the checkpoint's own segment or later — so Checkpoint prunes
-// them, bounding directory growth by one generation of traffic.
+// ever be torn. A checkpoint makes a segment garbage once its watermark
+// clears every admission the segment holds; under live compaction an
+// undelivered admission can live in a segment *older* than the checkpoint's
+// own, so the writer keeps a per-segment max-admission-id ledger (segMax)
+// and pruning deletes exactly the older segments whose max id is below the
+// checkpointed watermark — bounding directory growth by the replay window
+// (checkpoint budget + in-flight work) instead of a full generation of
+// traffic.
 //
 // Durability is a knob, not a policy: Fsync 0 syncs every record before
 // Admit returns (an admitted value survives any crash), a positive Fsync
@@ -82,6 +89,16 @@ type Options struct {
 	// SegmentBytes rotates to a new segment once the current one reaches
 	// this size (default DefaultSegmentBytes, minimum 512).
 	SegmentBytes int64
+	// CheckpointEvery makes MaybeCheckpoint due once this many admissions
+	// have been journaled since the last checkpoint (live compaction's
+	// record budget). Zero disables the budget trigger.
+	CheckpointEvery int
+	// CheckpointInterval makes MaybeCheckpoint due once this much time has
+	// passed since the last checkpoint (live compaction's timer). Zero
+	// disables the timer trigger. Either trigger still requires the
+	// delivered watermark to have advanced — a checkpoint that marks
+	// nothing newly delivered would prune nothing.
+	CheckpointInterval time.Duration
 }
 
 // ParseFsync parses the -fsync flag surface: "always" means sync every
@@ -127,6 +144,17 @@ type Stats struct {
 	// Replayed counts instances re-executed from this journal at the last
 	// recovery (set once by the recovery path, then constant).
 	Replayed uint64
+	// CheckpointFailures counts checkpoint writes that returned an error —
+	// including the drain checkpoint, whose error the service swallows to
+	// finish delivery. A non-zero value means the last generation's final
+	// state may not be marked delivered and a restart will replay from the
+	// last good checkpoint.
+	CheckpointFailures uint64
+	// PruneFailures counts segment deletions (or prune scans) that failed;
+	// failed prunes are retried on the group-commit flusher tick and at the
+	// next checkpoint, so a transient failure strands a segment for at most
+	// one flush interval, not a full checkpoint budget window.
+	PruneFailures uint64
 }
 
 // TemplateHash returns a stable 64-bit fingerprint of the run-template
@@ -147,11 +175,19 @@ func TemplateHash(cfg core.Config) uint64 {
 	return h.Sum64()
 }
 
+// Writer implements both durability hooks: the mandatory write-ahead one and
+// the optional live-compaction one the service discovers by type assertion.
+var (
+	_ service.Journal           = (*Writer)(nil)
+	_ service.CompactingJournal = (*Writer)(nil)
+)
+
 // Writer is the append side of a journal: it implements service.Journal, so
 // wiring durability into a service is one assignment (Config.Journal).
 // Admit and Checkpoint are called from the service's single sequencer /
-// close path, but Writer serializes internally anyway so a flusher goroutine
-// (group commit) can share the file safely.
+// close path and MaybeCheckpoint from its delivery goroutine, but Writer
+// serializes internally anyway so a flusher goroutine (group commit) can
+// share the file safely.
 type Writer struct {
 	dir      string
 	opts     Options
@@ -167,6 +203,20 @@ type Writer struct {
 	stats   Stats
 	err     error // sticky: first write/sync failure poisons the writer
 	closed  bool
+
+	// Live-compaction state. segMax maps each segment to the highest
+	// admission id journaled in it — the prune-safety ledger: a segment may
+	// only be deleted once a checkpoint watermark clears every admission it
+	// holds (see pruneLocked). sinceCkpt / lastCkptAt drive MaybeCheckpoint's
+	// record budget and timer; ckptWatermark is the last checkpointed
+	// watermark (pruning clears strictly below it). prunePending marks a
+	// failed prune for retry on the flusher tick.
+	segMax        map[uint64]uint64
+	sinceCkpt     int
+	lastCkptAt    time.Time
+	ckptWatermark uint64
+	prunePending  bool
+	removeFile    func(string) error // os.Remove, swappable by tests
 
 	flushStop chan struct{}
 	flushDone chan struct{}
@@ -192,11 +242,24 @@ func Open(dir string, opts Options) (*Writer, *Recovery, error) {
 		return nil, nil, err
 	}
 	w := &Writer{
-		dir:      dir,
-		opts:     opts,
-		tmplHash: TemplateHash(opts.Template),
-		digest:   opts.Template.Faults.Digest(),
-		enc:      wire.NewWriter(256),
+		dir:        dir,
+		opts:       opts,
+		tmplHash:   TemplateHash(opts.Template),
+		digest:     opts.Template.Faults.Digest(),
+		enc:        wire.NewWriter(256),
+		segMax:     make(map[uint64]uint64, len(rec.segMax)+1),
+		lastCkptAt: time.Now(),
+		removeFile: os.Remove,
+	}
+	// Seed the prune-safety ledger with the prior generations' per-segment
+	// max admission ids: a recovered-but-undelivered admission can live in a
+	// segment older than any future checkpoint's own, and that segment must
+	// survive compaction until the admission is delivered.
+	for seg, id := range rec.segMax {
+		w.segMax[seg] = id
+	}
+	if rec.Checkpoint != nil {
+		w.ckptWatermark = rec.Checkpoint.Watermark
 	}
 	w.stats.Segments = uint64(len(rec.segments))
 	if err := w.rotate(rec.nextSegment()); err != nil {
@@ -263,20 +326,71 @@ func (w *Writer) Admit(inst service.Instance) error {
 	if err := w.append(w.enc.Bytes()); err != nil {
 		return err
 	}
+	// append rotates before buffering, so the record lands in w.seg: record
+	// the segment's highest admission id for the prune-safety ledger.
+	if cur, ok := w.segMax[w.seg]; !ok || inst.ID > cur {
+		w.segMax[w.seg] = inst.ID
+	}
 	w.stats.Records++
+	w.sinceCkpt++
 	if w.opts.Fsync == 0 {
 		return w.flushLocked(true)
 	}
 	return nil
 }
 
-// Checkpoint journals a drain marker (service.Journal), syncs it, and
-// prunes every segment older than the current one — recovery only ever
-// needs admissions at or above the watermark, and those live at or after
-// the checkpoint record.
+// Checkpoint journals a checkpoint marker (service.Journal), syncs it, and
+// prunes every older segment whose admissions the watermark clears. The
+// service calls it unconditionally during drain; MaybeCheckpoint is the
+// budgeted mid-run form. Failures are counted (Stats.CheckpointFailures) as
+// well as returned, because the drain path swallows the error to finish
+// delivery.
 func (w *Writer) Checkpoint(watermark uint64, stats service.Stats) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.checkpointLocked(watermark, stats)
+}
+
+// MaybeCheckpoint writes a checkpoint at the delivered watermark when one is
+// due — CheckpointEvery admissions journaled since the last checkpoint, or
+// CheckpointInterval elapsed — and the watermark has advanced past the last
+// checkpointed one (service.CompactingJournal). The service drives it from
+// its delivery path, so the watermark is exactly the lowest undelivered
+// admission id: a mid-run checkpoint never marks an in-flight admission
+// delivered. It returns whether a checkpoint was attempted; a false return
+// with nil error means nothing was due.
+func (w *Writer) MaybeCheckpoint(watermark uint64, stats service.Stats) (bool, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.opts.CheckpointEvery <= 0 && w.opts.CheckpointInterval <= 0 {
+		return false, nil
+	}
+	if watermark <= w.ckptWatermark {
+		return false, nil // nothing newly delivered: the checkpoint would prune nothing
+	}
+	due := w.opts.CheckpointEvery > 0 && w.sinceCkpt >= w.opts.CheckpointEvery
+	if !due && w.opts.CheckpointInterval > 0 && time.Since(w.lastCkptAt) >= w.opts.CheckpointInterval {
+		due = true
+	}
+	if !due {
+		return false, nil
+	}
+	return true, w.checkpointLocked(watermark, stats)
+}
+
+// checkpointLocked is the shared checkpoint body: append + sync the record,
+// advance the compaction cursors, prune. Callers hold mu. Every failure is
+// counted in Stats.CheckpointFailures, including writes refused because the
+// writer is already closed or poisoned.
+func (w *Writer) checkpointLocked(watermark uint64, stats service.Stats) error {
+	if err := w.writeCheckpointLocked(watermark, stats); err != nil {
+		w.stats.CheckpointFailures++
+		return err
+	}
+	return nil
+}
+
+func (w *Writer) writeCheckpointLocked(watermark uint64, stats service.Stats) error {
 	if w.closed {
 		return ErrClosed
 	}
@@ -291,15 +405,26 @@ func (w *Writer) Checkpoint(watermark uint64, stats service.Stats) error {
 		return err
 	}
 	w.stats.Checkpoints++
+	w.sinceCkpt = 0
+	w.lastCkptAt = time.Now()
+	if watermark > w.ckptWatermark {
+		w.ckptWatermark = watermark
+	}
 	w.pruneLocked()
 	return nil
 }
 
 // append frames body into the pending buffer, rotating first if the current
-// segment is full. Callers hold mu.
+// segment is full. The fullness check counts buffered-but-unflushed bytes —
+// they land in the current segment (rotate flushes them there first) — so a
+// group-commit journal honors SegmentBytes instead of overshooting by a full
+// flush interval's traffic; a single record larger than SegmentBytes still
+// goes into an otherwise-empty segment rather than rotating forever. Callers
+// hold mu.
 func (w *Writer) append(body []byte) error {
 	need := int64(8 + len(body))
-	if w.segSize+int64(len(w.pending))+need > w.opts.SegmentBytes && w.segSize > int64(len(segMagic)) {
+	buffered := w.segSize + int64(len(w.pending))
+	if buffered+need > w.opts.SegmentBytes && buffered > int64(len(segMagic)) {
 		if err := w.rotate(w.seg + 1); err != nil {
 			return err
 		}
@@ -346,30 +471,54 @@ func (w *Writer) flushLoop(interval time.Duration) {
 			return
 		case <-t.C:
 			w.mu.Lock()
-			if !w.closed && len(w.pending) > 0 {
-				_ = w.flushLocked(true) // sticky w.err surfaces on the next Admit/Close
+			if !w.closed {
+				if len(w.pending) > 0 {
+					_ = w.flushLocked(true) // sticky w.err surfaces on the next Admit/Close
+				}
+				if w.prunePending {
+					// Retry a failed prune here instead of waiting a full
+					// checkpoint budget window for the next pruneLocked.
+					w.pruneLocked()
+				}
 			}
 			w.mu.Unlock()
 		}
 	}
 }
 
-// pruneLocked deletes every segment file older than the current one.
-// Callers hold mu; errors are ignored (a leftover segment is re-pruned at
-// the next checkpoint and is harmless to recovery).
+// pruneLocked deletes every segment file older than the current one whose
+// admissions are all cleared by the last checkpointed watermark: a segment
+// survives while it holds any admission id >= ckptWatermark (segMax), because
+// recovery still needs those records — under live compaction an undelivered
+// admission can sit in a segment *older* than the checkpoint's own. Segments
+// with no recorded admissions (checkpoint-only, or fully superseded) are
+// always prunable; the current segment never is (it holds the newest
+// checkpoint). Callers hold mu; failures are counted and retried on the
+// group-commit flusher tick and at the next checkpoint.
 func (w *Writer) pruneLocked() {
+	w.prunePending = false
 	segs, err := listSegments(w.dir)
 	if err != nil {
+		w.stats.PruneFailures++
+		w.prunePending = true
 		return
 	}
 	for _, s := range segs {
-		if s < w.seg {
-			if os.Remove(filepath.Join(w.dir, segmentName(s))) == nil {
-				w.stats.Pruned++
-				if w.stats.Segments > 0 {
-					w.stats.Segments--
-				}
-			}
+		if s >= w.seg {
+			continue
+		}
+		if maxID, ok := w.segMax[s]; ok && maxID >= w.ckptWatermark {
+			continue // still holds an admission recovery would need
+		}
+		if err := w.removeFile(filepath.Join(w.dir, segmentName(s))); err != nil {
+			w.stats.PruneFailures++
+			w.prunePending = true
+			continue
+		}
+		delete(w.segMax, s)
+		w.stats.Pruned++
+		if w.stats.Segments > 0 {
+			w.stats.Segments--
 		}
 	}
 }

@@ -36,7 +36,8 @@ type Recovery struct {
 	// clean journal). Recover (read-only) counts but does not cut it.
 	TruncatedBytes int64
 
-	segments []uint64 // sorted segment indexes present at scan time
+	segments []uint64          // sorted segment indexes present at scan time
+	segMax   map[uint64]uint64 // highest admission id per segment (prune-safety ledger)
 }
 
 // Recover scans dir read-only: same validation as Open, but a torn tail is
@@ -162,7 +163,7 @@ func scan(dir string, repair bool) (*Recovery, error) {
 	if err != nil {
 		return nil, err
 	}
-	rec := &Recovery{segments: segs, Segments: len(segs)}
+	rec := &Recovery{segments: segs, Segments: len(segs), segMax: make(map[uint64]uint64)}
 	admissions := make(map[uint64]Admission)
 	for si, seg := range segs {
 		last := si == len(segs)-1
@@ -222,6 +223,9 @@ func scan(dir string, repair bool) (*Recovery, error) {
 			switch kind {
 			case recAdmission:
 				admissions[adm.ID] = adm
+				if cur, ok := rec.segMax[seg]; !ok || adm.ID > cur {
+					rec.segMax[seg] = adm.ID
+				}
 			case recCheckpoint:
 				c := ckpt
 				rec.Checkpoint = &c

@@ -114,6 +114,10 @@ var (
 		"Journal segment files deleted by checkpoints.")
 	dJournalReplayed = NewDesc("byzex_journal_replayed_total", "counter",
 		"Instances re-executed from the journal at the last recovery.")
+	dJournalCheckpointFailures = NewDesc("byzex_journal_checkpoint_failures_total", "counter",
+		"Checkpoint writes that failed (including the drain checkpoint, whose error the service swallows).")
+	dJournalPruneFailures = NewDesc("byzex_journal_prune_failures_total", "counter",
+		"Failed segment prunes; retried on the flusher tick and at the next checkpoint.")
 )
 
 // JournalCollector exports a journal writer's Stats. Same shape as the
@@ -140,6 +144,8 @@ func (c *JournalCollector) Collect(w *Writer) {
 	w.Uint(dJournalSegments, st.Segments)
 	w.Uint(dJournalPruned, st.Pruned)
 	w.Uint(dJournalReplayed, st.Replayed)
+	w.Uint(dJournalCheckpointFailures, st.CheckpointFailures)
+	w.Uint(dJournalPruneFailures, st.PruneFailures)
 }
 
 // The trace families. Per-kind event counts use the wire names batrace

@@ -373,6 +373,10 @@ func TestJournalScrape(t *testing.T) {
 		"byzex_journal_segments":              float64(js.Segments),
 		"byzex_journal_pruned_segments_total": float64(js.Pruned),
 		"byzex_journal_replayed_total":        0,
+		// The failure families exist (and read zero) on a healthy journal,
+		// so an alert on them can be written before the first incident.
+		"byzex_journal_checkpoint_failures_total": 0,
+		"byzex_journal_prune_failures_total":      0,
 	} {
 		v, ok := got[sample]
 		if !ok {

@@ -286,6 +286,23 @@ type Journal interface {
 	Checkpoint(watermark uint64, stats Stats) error
 }
 
+// CompactingJournal is the optional live-compaction hook a Journal may also
+// implement (discovered by type assertion at New): the service calls
+// MaybeCheckpoint from its delivery goroutine after each in-order delivery,
+// passing the *delivered watermark* — the lowest undelivered admission id —
+// and a stats snapshot taken in the same critical section. Because delivery
+// is strictly instance-id ordered, the watermark never clears an in-flight
+// admission, so the implementation may checkpoint at it and prune covered
+// segments while the service keeps serving. The implementation decides
+// whether a checkpoint is due (record budget, timer); it returns whether one
+// was attempted, and the write error if it failed. Calls never overlap
+// (runner.Shards serializes delivery) but do run concurrently with Admit
+// from the sequencer.
+type CompactingJournal interface {
+	Journal
+	MaybeCheckpoint(watermark uint64, stats Stats) (bool, error)
+}
+
 // request is one queued submission.
 type request struct {
 	value ident.Value
@@ -336,9 +353,17 @@ type Service struct {
 	checkpointOnce sync.Once // writes the drain checkpoint exactly once
 	releaseOnce    sync.Once // runs Substrate.Close per shard exactly once
 
+	// compactor is cfg.Journal's optional live-compaction side, resolved
+	// once at New; compactStats is the delivery goroutine's reusable
+	// snapshot holder — deliver invocations never overlap (runner.Shards'
+	// contract), so no lock guards it.
+	compactor    CompactingJournal
+	compactStats Stats
+
 	mu           sync.Mutex
 	stats        Stats
 	nextInstance uint64
+	delivered    uint64 // lowest undelivered instance id (the delivered watermark)
 }
 
 // New starts a Service. ctx governs the instances' execution and triggers a
@@ -400,6 +425,10 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 		batcherDone: make(chan struct{}),
 	}
 	s.nextInstance = cfg.FirstInstance
+	s.delivered = cfg.FirstInstance
+	if cj, ok := cfg.Journal.(CompactingJournal); ok {
+		s.compactor = cj
+	}
 	if cfg.BaseStats != nil {
 		// Carry the monotone counters across the restart; the live gauges
 		// (queue depth, per-shard instance counts, batch target) describe
@@ -526,12 +555,20 @@ func (s *Service) Stats() Stats {
 // quiescent), exactly what an in-process Stats caller sees.
 func (s *Service) StatsInto(out *Stats) {
 	depth := len(s.queue)
-	shardInstances := out.ShardInstances
 	s.mu.Lock()
-	*out = s.stats
-	out.ShardInstances = append(shardInstances[:0], s.stats.ShardInstances...)
+	s.snapshotLocked(out)
 	s.mu.Unlock()
 	out.QueueDepth = depth
+}
+
+// snapshotLocked copies the counters into out, reusing out.ShardInstances'
+// storage. Callers hold s.mu — the checkpoint paths use it so a checkpoint's
+// watermark and stats come from one critical section and can never disagree.
+// QueueDepth (a channel read, safe anywhere) is the caller's to fill.
+func (s *Service) snapshotLocked(out *Stats) {
+	shardInstances := out.ShardInstances
+	*out = s.stats
+	out.ShardInstances = append(shardInstances[:0], s.stats.ShardInstances...)
 }
 
 // Close drains the service: admission stops (Submit returns ErrDraining),
@@ -539,8 +576,10 @@ func (s *Service) StatsInto(out *Stats) {
 // returns once all instances have been delivered. When a Journal is
 // configured, a checkpoint (admission watermark + final stats) is written
 // after the last delivery, so a clean shutdown leaves nothing to replay; a
-// checkpoint failure is swallowed here — the journal keeps it and reports it
-// when the journal itself is closed — because the drain must still complete.
+// checkpoint failure is swallowed here — the journal counts it
+// (journal.Stats.CheckpointFailures), the trace records it (the checkpoint
+// event's Flag), and the journal's own Close reports it — because the drain
+// must still complete.
 // Idempotent and safe to call concurrently; also triggered by cancellation
 // of New's context.
 func (s *Service) Close() {
@@ -549,15 +588,27 @@ func (s *Service) Close() {
 	s.exec.Close()
 	if s.cfg.Journal != nil {
 		s.checkpointOnce.Do(func() {
+			// One critical section for the whole checkpoint payload: the
+			// watermark and the stats snapshot describe the same instant, so
+			// a checkpoint can never pair a watermark with counters from a
+			// different cut (the drain is quiescent here, but the invariant
+			// is what recovery's BaseStats arithmetic relies on).
+			var snap Stats
+			depth := len(s.queue)
 			s.mu.Lock()
 			watermark := s.nextInstance
-			instances := s.stats.Instances
+			s.snapshotLocked(&snap)
 			s.mu.Unlock()
-			_ = s.cfg.Journal.Checkpoint(watermark, s.Stats())
+			snap.QueueDepth = depth
+			// The drain must complete even if the checkpoint write fails; the
+			// journal counts the failure (Stats.CheckpointFailures) and
+			// surfaces it on its own Close, and the trace event's Flag
+			// records the outcome.
+			err := s.cfg.Journal.Checkpoint(watermark, snap)
 			if s.sink != nil {
 				s.sink.Emit(trace.Event{
 					Kind: trace.KindCheckpoint, From: ident.None, To: ident.None,
-					Signers: int(watermark), Sigs: int(instances),
+					Signers: int(watermark), Sigs: int(snap.Instances), Flag: err == nil,
 				})
 			}
 		})
@@ -721,9 +772,17 @@ func (s *Service) Replay(values []ident.Value) (<-chan Result, error) {
 	for i, v := range values {
 		batch[i] = &request{value: v, enq: now, ch: ch}
 	}
-	s.mu.Lock()
-	s.stats.Submitted += uint64(len(values))
-	s.mu.Unlock()
+	if s.cfg.BaseStats == nil {
+		// Submitted counts admissions. When recovering from a checkpointed
+		// journal, BaseStats already includes the pending values' original
+		// admissions (checkpoints are cut at delivery, after the submit that
+		// queued each pending value), so re-counting them here would double
+		// them. Without a checkpoint there is no carried count, and the
+		// replayed values are this process's only record of those admissions.
+		s.mu.Lock()
+		s.stats.Submitted += uint64(len(values))
+		s.mu.Unlock()
+	}
 	s.dispatch(batch, true)
 	return ch, nil
 }
@@ -774,7 +833,14 @@ func (s *Service) deliver(_ uint64, c *completed) {
 	now := time.Now()
 	s.policy.observe(c.runDur)
 
+	depth := len(s.queue)
 	s.mu.Lock()
+	// Delivery is strictly id-ordered, so after this instance the lowest
+	// undelivered id is exactly inst.ID+1 — the delivered watermark live
+	// compaction checkpoints at. The batch-failure path (fail) never
+	// advances it: a journaled admission that was not delivered must stay
+	// above any checkpoint.
+	s.delivered = inst.ID + 1
 	s.stats.Instances++
 	if inst.Shard >= 0 && inst.Shard < len(s.stats.ShardInstances) {
 		s.stats.ShardInstances[inst.Shard]++
@@ -795,6 +861,13 @@ func (s *Service) deliver(_ uint64, c *completed) {
 		if lat > s.stats.MaxLatency {
 			s.stats.MaxLatency = lat
 		}
+	}
+	watermark := s.delivered
+	if s.compactor != nil {
+		// Snapshot in the same critical section as the watermark, into the
+		// delivery goroutine's scratch holder (deliver never overlaps), so
+		// the checkpoint write below happens outside the stats mutex.
+		s.snapshotLocked(&s.compactStats)
 	}
 	s.mu.Unlock()
 
@@ -832,6 +905,22 @@ func (s *Service) deliver(_ uint64, c *completed) {
 			res.Err = fmt.Errorf("%w: decided %v, batch packed %v", ErrNotCommitted, inst.Decided, inst.Config.Value)
 		}
 		req.ch <- res
+	}
+
+	// Live compaction, after the batch's futures resolve so a checkpoint
+	// fsync never adds to this batch's latency. The journal decides dueness
+	// (record budget / timer); a checkpoint at the delivered watermark can
+	// prune every segment whose admissions are all delivered. Checkpoints
+	// driven only by deliveries is sufficient: the watermark cannot advance
+	// without one, and a checkpoint without watermark progress frees nothing.
+	if s.compactor != nil {
+		s.compactStats.QueueDepth = depth
+		if wrote, err := s.compactor.MaybeCheckpoint(watermark, s.compactStats); wrote && s.sink != nil {
+			s.sink.Emit(trace.Event{
+				Kind: trace.KindCheckpoint, From: ident.None, To: ident.None,
+				Signers: int(watermark), Sigs: int(s.compactStats.Instances), Flag: err == nil,
+			})
+		}
 	}
 }
 

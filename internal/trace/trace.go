@@ -113,9 +113,11 @@ const (
 	// Replay runs before live traffic is admitted, so these events are
 	// deterministic given the journal contents.
 	KindReplay
-	// KindCheckpoint reports a journal checkpoint written on drain:
-	// Signers = the admission watermark persisted, Sigs = instances completed
-	// at that point. Admission-scoped: checkpoints record live progress.
+	// KindCheckpoint reports a journal checkpoint attempt — mid-run (live
+	// compaction, from the delivery path) or on drain: Signers = the
+	// delivered watermark persisted, Sigs = instances completed at that
+	// point, Flag = true when the checkpoint write succeeded.
+	// Admission-scoped: checkpoints record live progress.
 	KindCheckpoint
 )
 

@@ -180,7 +180,11 @@ func NewMesh(ctx context.Context, n int, netCfg Net) (*Mesh, error) {
 // SetPeerWireVersion pins the frame version one processor's endpoint emits —
 // the mixed-version drill a rolling upgrade performs: downgrade one peer's
 // emitter to wire.FrameVersionMin and the instance must still complete,
-// because every receiver accepts the whole window. Must not race a Run.
+// because every receiver accepts the whole window. The scripted fleet roll
+// (TestServeRollingUpgrade, `make upgrade`) exercises both granularities:
+// whole processes restarted across -wire-version values, and a single peer
+// re-versioned between epochs of one warm mesh via this call. Must not race
+// a Run.
 func (m *Mesh) SetPeerWireVersion(id ident.ProcID, ver byte) error {
 	if int(id) < 0 || int(id) >= m.n {
 		return fmt.Errorf("transport: no peer %d in a mesh of %d", id, m.n)
