@@ -25,20 +25,27 @@
 #                      mid-load, restart it, verify replay (part of check)
 #   make upgrade     - rolling-upgrade drill: roll a two-server fleet across
 #                      wire frame versions under load (part of check)
+#   make search      - adversary-search gate vs the Theorem 1/2 bounds
+#                      (best-found below bound or a broken correct protocol
+#                      fails; strawmen must be found broken); SEARCH_BUDGET=n
+#                      sets the budget (make check uses a short one)
+#   make bench-search - run the gate at the full budget and archive the
+#                      per-protocol gap-to-bound atlas as BENCH_009.json
 #   make fuzz        - run every fuzz target on a short fixed budget
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check lint test bench bench-trace bench-service bench-transport bench-ops bench-journal baexp trace-smoke faults slo crash upgrade fuzz
+.PHONY: check lint test bench bench-trace bench-service bench-transport bench-ops bench-journal bench-search search baexp trace-smoke faults slo crash upgrade fuzz
 
 check: lint faults
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race -count=1 ./internal/service/ ./internal/runner/ ./internal/transport/ ./internal/obs/ ./internal/journal/
+	$(GO) test -race -count=1 ./internal/service/ ./internal/runner/ ./internal/transport/ ./internal/obs/ ./internal/journal/ ./internal/search/
 	$(MAKE) crash
 	$(MAKE) upgrade
 	$(MAKE) slo
+	$(MAKE) search SEARCH_BUDGET=48
 
 # The durability gate: a journaled server is SIGKILLed mid-load (a forked
 # child process — an in-process drain can never tear a write), then restarted
@@ -158,6 +165,24 @@ bench-journal:
 	{ $(GO) test -bench 'BenchmarkJournal' -benchtime=200x -benchmem -run '^$$' ./internal/journal/ ; \
 	  cat /tmp/byzex-churn-bench.txt ; } \
 	| /tmp/benchjson -label current > BENCH_008.json
+
+# The adversary-search gate: the search minimizes correct-sender signatures
+# and messages per registry protocol and exits 1 when a correct protocol is
+# broken or undercuts its Theorem 1/2 bound, or a strawman survives
+# unbroken. The command runs standalone — a pipe would mask its exit code.
+# A fixed -seed makes the output reproduce byte-identically. `make check`
+# runs it at a short budget; `make bench-search` at the full default.
+SEARCH_BUDGET ?= 240
+search:
+	$(GO) build -o /tmp/baattack ./cmd/baattack
+	/tmp/baattack -search -protocol all -objective both \
+		-budget $(SEARCH_BUDGET) -seed 1 -bench > /tmp/byzex-search-bench.txt
+
+# The gap-to-bound atlas (BENCH_009): archive best-found vs
+# core.SigLowerBound / core.MsgLowerBound from a full-budget search run.
+bench-search: search
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	/tmp/benchjson -label current < /tmp/byzex-search-bench.txt > BENCH_009.json
 
 # Short fixed-budget fuzzing of every decoder that touches attacker-supplied
 # bytes: the wire codec (seeded from captured real-run envelopes) and the

@@ -1,14 +1,3 @@
-// Package adversary implements Byzantine fault strategies. An Adversary
-// chooses which processors to corrupt and supplies the state machines that
-// replace them. Faulty processors may collude: every strategy has access to
-// the shared State, which pools the signers of all corrupted processors —
-// exactly the paper's power ("every message that contains only signatures of
-// faulty processors can be produced by them") — but can never sign for a
-// correct processor because it never holds a correct processor's signer.
-//
-// The strategies include the constructions used by the paper's lower-bound
-// proofs: the split-brain transmitter and history-replay adversary of
-// Theorem 1, and the ignore-first-⌈t/2⌉ starvation behaviour of Theorem 2.
 package adversary
 
 import (

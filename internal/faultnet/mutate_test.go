@@ -1,0 +1,84 @@
+package faultnet
+
+import (
+	mrand "math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestFormatSpecRoundTrip pins the archival contract: a searched plan is
+// stored as DSL text, so FormatSpec output must parse back to an equal spec.
+func TestFormatSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"",
+		"crash=1@3",
+		"drop=2->4@2-5/0.5",
+		"drop=*->4@*",
+		"dup=2->*@3",
+		"reorder=1->0@1-2/0.25",
+		"delay=3->1@2-4+2/0.75",
+		"partition=0,1|5,6@2",
+		"crash=1@3;drop=2->4@2-5/0.5;partition=0,1|5,6@2-3",
+	}
+	for _, in := range specs {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		text := FormatSpec(spec)
+		back, err := ParseSpec(text)
+		if err != nil {
+			t.Fatalf("ParseSpec(FormatSpec(%q)) = ParseSpec(%q): %v", in, text, err)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Errorf("round trip of %q via %q changed the spec:\n  %+v\n  %+v", in, text, spec, back)
+		}
+	}
+}
+
+// TestMutateSpecStaysValid drives many mutation chains and requires every
+// intermediate spec to compile, round-trip through the DSL, and leave its
+// parent untouched — the properties the search relies on.
+func TestMutateSpecStaysValid(t *testing.T) {
+	const n, phases = 7, 5
+	rng := mrand.New(mrand.NewSource(11))
+	spec := Spec{}
+	for i := 0; i < 300; i++ {
+		before := FormatSpec(spec)
+		next := MutateSpec(spec, rng, n, phases)
+		if got := FormatSpec(spec); got != before {
+			t.Fatalf("mutation %d modified its input: %q -> %q", i, before, got)
+		}
+		if _, err := Compile(next, 1); err != nil {
+			t.Fatalf("mutation %d produced an uncompilable spec %q: %v", i, FormatSpec(next), err)
+		}
+		text := FormatSpec(next)
+		back, err := ParseSpec(text)
+		if err != nil {
+			t.Fatalf("mutation %d: ParseSpec(%q): %v", i, text, err)
+		}
+		if !reflect.DeepEqual(next, back) {
+			t.Fatalf("mutation %d: %q does not round-trip", i, text)
+		}
+		spec = next
+	}
+}
+
+// TestMutateSpecDeterministic pins that equal RNG seeds produce equal
+// mutation chains — the fault-plan half of the search determinism contract.
+func TestMutateSpecDeterministic(t *testing.T) {
+	chain := func() []string {
+		rng := mrand.New(mrand.NewSource(23))
+		spec := Spec{}
+		out := make([]string, 0, 50)
+		for i := 0; i < 50; i++ {
+			spec = MutateSpec(spec, rng, 6, 4)
+			out = append(out, FormatSpec(spec))
+		}
+		return out
+	}
+	a, b := chain(), chain()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("mutation chains diverged:\n%v\n%v", a, b)
+	}
+}

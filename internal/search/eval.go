@@ -1,0 +1,246 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	mrand "math/rand"
+	"sort"
+
+	"byzex/internal/core"
+	"byzex/internal/faultnet"
+	"byzex/internal/ident"
+	"byzex/internal/sim"
+	"byzex/internal/trace"
+)
+
+// Objective selects the quantity the search minimizes — the two costs the
+// paper lower-bounds.
+type Objective uint8
+
+// The searchable objectives.
+const (
+	// ObjSignatures minimizes signatures sent by correct processors
+	// (Theorem 1, core.SigLowerBound).
+	ObjSignatures Objective = iota
+	// ObjMessages minimizes messages sent by correct processors
+	// (Theorem 2, core.MsgLowerBound).
+	ObjMessages
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	if o == ObjSignatures {
+		return "sigs"
+	}
+	return "msgs"
+}
+
+// ParseObjective resolves the -objective flag values.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "sigs", "signatures":
+		return ObjSignatures, nil
+	case "msgs", "messages":
+		return ObjMessages, nil
+	default:
+		return 0, fmt.Errorf("search: unknown objective %q (known: sigs, msgs)", s)
+	}
+}
+
+// Class tells the evaluator what a protocol promises, which decides both
+// feasibility and what counts as a violation.
+type Class uint8
+
+// Protocol classes.
+const (
+	// ClassAgreement: full Byzantine Agreement — conditions (i) and (ii)
+	// must hold for every in-budget candidate; any judge failure is a
+	// violation and (for the gate) a bug.
+	ClassAgreement Class = iota
+	// ClassExchange: the Algorithm 4 information-exchange building blocks.
+	// They decide a constant, so only unanimity of correct processors is
+	// judged; the theorem bounds do not apply.
+	ClassExchange
+	// ClassStrawman: deliberately weakened protocols kept as negative
+	// controls. Violations are the expected find, not a bug.
+	ClassStrawman
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassAgreement:
+		return "agreement"
+	case ClassExchange:
+		return "exchange"
+	default:
+		return "strawman"
+	}
+}
+
+// Eval is the outcome of evaluating one candidate: the H-side run (value 0)
+// and the G-side run (value 1) under the same adversary, plan and seed.
+//
+// Feasibility is the search's guard against trivial minima: a candidate
+// only scores when both runs reach agreement on their intended value, i.e.
+// when the pair of executions actually realizes the two fault-free-looking
+// histories H and G the Theorem 1 proof reasons over. An adversary that
+// silences or corrupts the transmitter makes the pair infeasible (one run
+// cannot decide its intended value) and scores nothing — which is exactly
+// why minimizing over feasible candidates can never undercut the bound on
+// a correct protocol.
+type Eval struct {
+	// Cand is the evaluated candidate.
+	Cand Candidate
+	// Faulty is the combined corrupted set: the strategy's Corrupt choice
+	// united with the fault plan's affected processors.
+	Faulty ident.Set
+	// Skipped marks candidates that were never run, with SkipReason one of
+	// "over-budget" (|Faulty| > t) or "bad-spec" (plan failed to compile).
+	Skipped    bool
+	SkipReason string
+	// Feasible marks candidates whose cost counts (see above). CostH and
+	// CostG are the per-run objective costs; Cost is their maximum — the
+	// worse side of the (H, G) pair, matching how the theorems bound the
+	// costlier history.
+	Feasible     bool
+	Cost         int
+	CostH, CostG int
+	// Violation is non-nil when either run broke the class's agreement
+	// promise. A violating candidate is never feasible.
+	Violation error
+}
+
+// evaluator runs candidates for one search target. It is safe for
+// concurrent use: evaluation touches no shared mutable state.
+type evaluator struct {
+	cfg         *Config
+	transmitter ident.ProcID
+}
+
+// evaluate runs the candidate's (value 0, value 1) pair and judges both
+// runs. Only infrastructure failures return an error; everything a
+// candidate can legitimately cause is folded into the Eval.
+func (ev *evaluator) evaluate(ctx context.Context, cand Candidate) (Eval, error) {
+	cfg := ev.cfg
+	out := Eval{Cand: cand}
+
+	adv := cand.adversaryFor(cfg.N, cfg.T, ev.transmitter)
+	faulty := make(ident.Set)
+	if adv != nil {
+		// Replicate NewSetup's corruption draw so the budget check sees the
+		// same set the run will use.
+		rng := mrand.New(mrand.NewSource(cand.Seed))
+		faulty = adv.Corrupt(cfg.N, cfg.T, ev.transmitter, rng)
+	}
+	var plan *faultnet.Plan
+	if len(cand.Spec.Rules) > 0 {
+		var err error
+		plan, err = faultnet.Compile(cand.Spec, cand.Seed)
+		if err != nil {
+			out.Skipped, out.SkipReason = true, "bad-spec"
+			return out, nil
+		}
+		faulty = faulty.Union(plan.Affected(cfg.N))
+	}
+	out.Faulty = faulty
+	if faulty.Len() > cfg.T {
+		out.Skipped, out.SkipReason = true, "over-budget"
+		return out, nil
+	}
+	var override ident.Set
+	if faulty.Len() > 0 || adv != nil {
+		override = faulty
+	}
+
+	feasible := true
+	for _, v := range []ident.Value{ident.V0, ident.V1} {
+		res, err := core.Run(ctx, core.Config{
+			Protocol:       cfg.Protocol,
+			N:              cfg.N,
+			T:              cfg.T,
+			Transmitter:    ev.transmitter,
+			Value:          v,
+			Scheme:         cfg.Scheme,
+			Adversary:      adv,
+			FaultyOverride: override,
+			Seed:           cand.Seed,
+			Rushing:        cand.Rushing,
+			Faults:         plan,
+			Trace:          trace.Nop{},
+		})
+		if err != nil {
+			return out, fmt.Errorf("search: candidate %s value %v: %w", cand.Key(), v, err)
+		}
+		decided, verr := judgeDecisions(res.Sim.Decisions, res.Faulty, ev.transmitter, v, cfg.Class)
+		if verr != nil {
+			if out.Violation == nil {
+				out.Violation = verr
+			}
+			feasible = false
+		}
+		cost := res.Sim.Report.MessagesCorrect
+		if cfg.Objective == ObjSignatures {
+			cost = res.Sim.Report.SignaturesCorrect
+		}
+		if v == ident.V0 {
+			out.CostH = cost
+		} else {
+			out.CostG = cost
+		}
+		// Feasibility additionally demands the run decided its intended
+		// value, so the pair really is an (H, G) pair. For agreement-class
+		// protocols condition (ii) delivers that exactly when the
+		// transmitter is correct; exchange protocols decide a constant, so
+		// the value requirement is waived.
+		if cfg.Class != ClassExchange && (res.Faulty.Has(ev.transmitter) || (verr == nil && decided != v)) {
+			feasible = false
+		}
+	}
+	out.Feasible = feasible && out.Violation == nil
+	out.Cost = out.CostH
+	if out.CostG > out.Cost {
+		out.Cost = out.CostG
+	}
+	return out, nil
+}
+
+// judgeDecisions is the search's agreement judge. It mirrors
+// core.CheckDecisions — condition (i) always, condition (ii) only when the
+// transmitter is correct, unanimity only for the exchange class — but
+// iterates processors in id order so its error strings are deterministic:
+// atlas output must be byte-identical run to run, and a map-order judge
+// would leak iteration order into the violation sample it archives.
+func judgeDecisions(decisions map[ident.ProcID]sim.Decision, faulty ident.Set, transmitter ident.ProcID, transmitterValue ident.Value, class Class) (ident.Value, error) {
+	ids := make([]ident.ProcID, 0, len(decisions))
+	for id := range decisions {
+		if !faulty.Has(id) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var (
+		got     ident.Value
+		haveAny bool
+	)
+	for _, id := range ids {
+		d := decisions[id]
+		if !d.Decided {
+			return 0, fmt.Errorf("%w: %v", core.ErrNoDecision, id)
+		}
+		if !haveAny {
+			got, haveAny = d.Value, true
+			continue
+		}
+		if d.Value != got {
+			return 0, fmt.Errorf("%w: %v vs %v", core.ErrDisagreement, d.Value, got)
+		}
+	}
+	if !haveAny {
+		return 0, fmt.Errorf("%w: no correct processors", core.ErrNoDecision)
+	}
+	if class != ClassExchange && !faulty.Has(transmitter) && got != transmitterValue {
+		return 0, fmt.Errorf("%w: decided %v, transmitter sent %v", core.ErrValidity, got, transmitterValue)
+	}
+	return got, nil
+}

@@ -75,6 +75,14 @@ type Summary struct {
 	FaultDups     int
 	FaultReorders int
 	FaultCrashes  int
+	// Adversary-search counters (see the search-* event kinds in trace.go):
+	// candidate evaluations, incumbent improvements, and candidates that
+	// broke an agreement condition. SearchBestCost is the cost carried by
+	// the last KindSearchBest event — the best-found objective value.
+	SearchEvals      int
+	SearchBests      int
+	SearchViolations int
+	SearchBestCost   int
 }
 
 // Summarize folds a stream of events into a Summary.
@@ -161,6 +169,13 @@ func (s *Summary) Add(e Event) {
 		s.Replayed++
 	case KindCheckpoint:
 		s.Checkpoints++
+	case KindSearchEval:
+		s.SearchEvals++
+	case KindSearchBest:
+		s.SearchBests++
+		s.SearchBestCost = e.Sigs
+	case KindSearchViolation:
+		s.SearchViolations++
 	}
 }
 
@@ -215,6 +230,10 @@ func (s *Summary) Table() string {
 	}
 	if s.Replayed+s.Checkpoints > 0 {
 		fmt.Fprintf(&b, "journal: replayed=%d checkpoints=%d\n", s.Replayed, s.Checkpoints)
+	}
+	if s.SearchEvals > 0 {
+		fmt.Fprintf(&b, "search: evals=%d improvements=%d violations=%d best=%d\n",
+			s.SearchEvals, s.SearchBests, s.SearchViolations, s.SearchBestCost)
 	}
 	return b.String()
 }

@@ -119,36 +119,52 @@ const (
 	// point, Flag = true when the checkpoint write succeeded.
 	// Admission-scoped: checkpoints record live progress.
 	KindCheckpoint
+	// KindSearchEval reports one candidate evaluation by the adversary
+	// search (package search): Signers = the evaluation index, Sigs = the
+	// measured objective cost (0 when infeasible), Flag = true when the
+	// candidate was feasible. The search is deterministic in its seed, so
+	// these events are part of the byte-identical replay contract.
+	KindSearchEval
+	// KindSearchBest reports a new search incumbent: Signers = the
+	// evaluation index that produced it, Sigs = the improved cost.
+	KindSearchBest
+	// KindSearchViolation reports a candidate that broke an agreement
+	// condition: Signers = the evaluation index. For correct protocols this
+	// event is fatal to the gap gate; for strawmen it is the expected find.
+	KindSearchViolation
 )
 
 // NumKinds bounds the Kind space: valid kinds are 1 <= k < NumKinds. Fixed
 // per-kind counter arrays (Spool, the metrics exporter) are sized by it.
-const NumKinds = int(KindCheckpoint) + 1
+const NumKinds = int(KindSearchViolation) + 1
 
 // kindNames maps kinds to their wire names (see jsonl.go).
 var kindNames = map[Kind]string{
-	KindCorrupt:       "corrupt",
-	KindPhaseStart:    "phase-start",
-	KindPhaseEnd:      "phase-end",
-	KindSend:          "send",
-	KindOmit:          "omit",
-	KindDeliver:       "deliver",
-	KindVerifyHit:     "verify-hit",
-	KindVerifyMiss:    "verify-miss",
-	KindRush:          "rush",
-	KindDecide:        "decide",
-	KindEnqueue:       "enqueue",
-	KindReject:        "reject",
-	KindInstanceStart: "instance-start",
-	KindInstanceDone:  "instance-done",
-	KindFaultDrop:     "fault-drop",
-	KindFaultDelay:    "fault-delay",
-	KindFaultDup:      "fault-dup",
-	KindFaultReorder:  "fault-reorder",
-	KindFaultCrash:    "fault-crash",
-	KindBatchAdapt:    "batch-adapt",
-	KindReplay:        "replay",
-	KindCheckpoint:    "checkpoint",
+	KindCorrupt:         "corrupt",
+	KindPhaseStart:      "phase-start",
+	KindPhaseEnd:        "phase-end",
+	KindSend:            "send",
+	KindOmit:            "omit",
+	KindDeliver:         "deliver",
+	KindVerifyHit:       "verify-hit",
+	KindVerifyMiss:      "verify-miss",
+	KindRush:            "rush",
+	KindDecide:          "decide",
+	KindEnqueue:         "enqueue",
+	KindReject:          "reject",
+	KindInstanceStart:   "instance-start",
+	KindInstanceDone:    "instance-done",
+	KindFaultDrop:       "fault-drop",
+	KindFaultDelay:      "fault-delay",
+	KindFaultDup:        "fault-dup",
+	KindFaultReorder:    "fault-reorder",
+	KindFaultCrash:      "fault-crash",
+	KindBatchAdapt:      "batch-adapt",
+	KindReplay:          "replay",
+	KindCheckpoint:      "checkpoint",
+	KindSearchEval:      "search-eval",
+	KindSearchBest:      "search-best",
+	KindSearchViolation: "search-violation",
 }
 
 // AdmissionScoped reports whether k is a serving-layer admission-side event
